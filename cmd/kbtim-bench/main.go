@@ -1,0 +1,63 @@
+// Command kbtim-bench regenerates the paper's tables and figures against
+// the scaled synthetic dataset suite (see DESIGN.md and EXPERIMENTS.md).
+//
+// Usage:
+//
+//	kbtim-bench -exp all          # every experiment, quick sweep
+//	kbtim-bench -exp table7       # one experiment
+//	kbtim-bench -exp fig5 -full   # the paper's complete parameter grid
+//	kbtim-bench -list             # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"kbtim/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		exp  = flag.String("exp", "all", "experiment ID or 'all'")
+		full = flag.Bool("full", os.Getenv("KBTIM_BENCH_FULL") == "1", "run the complete parameter grid")
+		list = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("%-18s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	env, err := bench.NewEnv(bench.DefaultConfig(*full))
+	if err != nil {
+		log.Fatalf("kbtim-bench: %v", err)
+	}
+	defer env.Close()
+
+	run := func(id string, desc string, f bench.Experiment) {
+		start := time.Now()
+		if err := f(os.Stdout, env); err != nil {
+			log.Fatalf("kbtim-bench: %s: %v", id, err)
+		}
+		fmt.Printf("[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, e := range bench.Experiments {
+			run(e.ID, e.Desc, e.Run)
+		}
+		return
+	}
+	f, ok := bench.Lookup(*exp)
+	if !ok {
+		log.Fatalf("kbtim-bench: unknown experiment %q (use -list)", *exp)
+	}
+	run(*exp, "", f)
+}

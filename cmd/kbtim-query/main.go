@@ -1,0 +1,128 @@
+// Command kbtim-query answers KB-TIM queries against a dataset, using any
+// of the three processing strategies (wris, rr, irr) or the non-targeted
+// RIS baseline.
+//
+// Usage:
+//
+//	kbtim-query -graph g.bin -profiles p.bin -index ads.irr -type irr \
+//	            -topics 2,7 -k 10 -evaluate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"kbtim"
+)
+
+func parseTopics(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("no -topics given")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad topic %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		graphPath   = flag.String("graph", "graph.bin", "input graph path")
+		profilePath = flag.String("profiles", "profiles.bin", "input profiles path")
+		indexPath   = flag.String("index", "", "index path (for -type rr|irr)")
+		method      = flag.String("type", "irr", "strategy: wris | rr | irr | ris")
+		model       = flag.String("model", "IC", "propagation model: IC | LT")
+		topicsFlag  = flag.String("topics", "", "comma-separated advertisement keywords")
+		k           = flag.Int("k", 10, "number of seeds Q.k")
+		epsilon     = flag.Float64("epsilon", 0.3, "approximation ε (online methods)")
+		bigK        = flag.Int("K", 100, "system cap on Q.k")
+		maxTheta    = flag.Int("max-theta", 0, "per-keyword sampling cap (0 = none)")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+		evaluate    = flag.Bool("evaluate", false, "Monte-Carlo-verify the result spread")
+		rounds      = flag.Int("rounds", 5000, "Monte-Carlo rounds for -evaluate")
+	)
+	flag.Parse()
+
+	ds, err := kbtim.LoadDataset(*graphPath, *profilePath)
+	if err != nil {
+		log.Fatalf("kbtim-query: %v", err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            *epsilon,
+		K:                  *bigK,
+		Model:              kbtim.Model(*model),
+		MaxThetaPerKeyword: *maxTheta,
+		Seed:               *seed,
+	})
+	if err != nil {
+		log.Fatalf("kbtim-query: %v", err)
+	}
+	defer eng.Close()
+
+	var res *kbtim.Result
+	var q kbtim.Query
+	switch *method {
+	case "ris":
+		res, err = eng.QueryRIS(*k)
+	case "wris", "rr", "irr":
+		topics, terr := parseTopics(*topicsFlag)
+		if terr != nil {
+			log.Fatalf("kbtim-query: %v", terr)
+		}
+		q = kbtim.Query{Topics: topics, K: *k}
+		switch *method {
+		case "wris":
+			res, err = eng.QueryWRIS(q)
+		case "rr":
+			if err := eng.OpenRRIndex(*indexPath); err != nil {
+				log.Fatalf("kbtim-query: %v", err)
+			}
+			res, err = eng.QueryRR(q)
+		case "irr":
+			if err := eng.OpenIRRIndex(*indexPath); err != nil {
+				log.Fatalf("kbtim-query: %v", err)
+			}
+			res, err = eng.QueryIRR(q)
+		}
+	default:
+		log.Fatalf("kbtim-query: unknown strategy %q", *method)
+	}
+	if err != nil {
+		log.Fatalf("kbtim-query: %v", err)
+	}
+
+	fmt.Printf("seeds:     %v\n", res.Seeds)
+	fmt.Printf("est.spread %.3f  (from %d RR sets, %v)\n", res.EstSpread, res.NumRRSets, res.Elapsed.Round(1e4))
+	if res.IO.Total() > 0 {
+		fmt.Printf("I/O:       %d ops (%d seq, %d rand), %.1f KB\n",
+			res.IO.Total(), res.IO.SequentialReads, res.IO.RandomReads,
+			float64(res.IO.BytesRead)/1024)
+	}
+	if res.ThetaCapped {
+		fmt.Println("warning: sampling was capped; the approximation guarantee is voided")
+	}
+	if *evaluate && *method != "ris" {
+		mc, err := eng.EvaluateSpread(res.Seeds, q, *rounds)
+		if err != nil {
+			log.Fatalf("kbtim-query: %v", err)
+		}
+		fmt.Printf("MC spread: %.3f over %d rounds\n", mc, *rounds)
+	}
+	if *evaluate && *method == "ris" {
+		mc, err := eng.EvaluateReach(res.Seeds, *rounds)
+		if err != nil {
+			log.Fatalf("kbtim-query: %v", err)
+		}
+		fmt.Printf("MC reach:  %.3f users over %d rounds\n", mc, *rounds)
+	}
+}

@@ -1,0 +1,198 @@
+package kbtim
+
+import (
+	"fmt"
+	"os"
+
+	"kbtim/internal/gen"
+	"kbtim/internal/graph"
+	"kbtim/internal/topic"
+)
+
+// Dataset bundles a social graph with its user topic profiles — everything
+// a KB-TIM engine needs besides tuning parameters.
+type Dataset struct {
+	graph    *graph.Graph
+	profiles *topic.Profiles
+}
+
+// NumUsers returns |V|.
+func (d *Dataset) NumUsers() int { return d.graph.NumVertices() }
+
+// NumEdges returns |E|.
+func (d *Dataset) NumEdges() int { return d.graph.NumEdges() }
+
+// NumTopics returns |T|.
+func (d *Dataset) NumTopics() int { return d.profiles.NumTopics() }
+
+// AvgDegree returns |E|/|V| (the Table 2 statistic).
+func (d *Dataset) AvgDegree() float64 { return d.graph.AvgDegree() }
+
+// Score returns φ(v,Q), the tf-idf relevance of user v to query q (Eqn 1).
+func (d *Dataset) Score(v Seed, q Query) float64 {
+	return d.profiles.Score(v, q.internal())
+}
+
+// TopicMass returns φ_w, the total relevance mass of a keyword.
+func (d *Dataset) TopicMass(topicID int) float64 { return d.profiles.Phi(topicID) }
+
+// InDegreeDistribution returns the (degree, count) series of Figure 4.
+func (d *Dataset) InDegreeDistribution() (degrees, counts []int) {
+	h := graph.InDegreeHistogram(d.graph)
+	return h.Degrees, h.Counts
+}
+
+// DatasetKind selects a synthetic graph family.
+type DatasetKind string
+
+// Supported synthetic dataset families (the paper's two real corpora).
+const (
+	// TwitterLike is dense preferential attachment with power-law
+	// in-degrees, standing in for the SNAP Twitter graph.
+	TwitterLike DatasetKind = "twitter"
+	// NewsLike is a sparse uniform random digraph, standing in for the
+	// SNAP News/memetracker graph.
+	NewsLike DatasetKind = "news"
+)
+
+// DatasetSpec describes a synthetic dataset to generate.
+type DatasetSpec struct {
+	Kind      DatasetKind
+	NumUsers  int
+	AvgDegree float64 // target average degree (Twitter ≫ News)
+	NumTopics int     // topic-space size (the paper extracts 200)
+	// TopicsPerUserMin/Max bound each user's profile size (defaults 1/5).
+	TopicsPerUserMin int
+	TopicsPerUserMax int
+	// ZipfExponent sets topic-popularity skew (default 1.0).
+	ZipfExponent float64
+	Seed         uint64
+}
+
+// GenerateDataset synthesizes a graph + profiles pair (see DESIGN.md for
+// why these generators preserve the paper's experimental phenomena).
+func GenerateDataset(spec DatasetSpec) (*Dataset, error) {
+	if spec.TopicsPerUserMin == 0 {
+		spec.TopicsPerUserMin = 1
+	}
+	if spec.TopicsPerUserMax == 0 {
+		spec.TopicsPerUserMax = 5
+	}
+	if spec.ZipfExponent == 0 {
+		spec.ZipfExponent = 1.0
+	}
+	var g *graph.Graph
+	var err error
+	switch spec.Kind {
+	case TwitterLike:
+		deg := int(spec.AvgDegree)
+		if deg < 1 {
+			deg = 1
+		}
+		g, err = gen.TwitterLike(gen.TwitterLikeConfig{
+			N: spec.NumUsers, AvgDegree: deg, Seed: spec.Seed,
+		})
+	case NewsLike:
+		g, err = gen.NewsLike(gen.NewsLikeConfig{
+			N: spec.NumUsers, AvgDegree: spec.AvgDegree, Seed: spec.Seed,
+		})
+	default:
+		return nil, fmt.Errorf("kbtim: unknown dataset kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	maxT := spec.TopicsPerUserMax
+	if maxT > spec.NumTopics {
+		maxT = spec.NumTopics
+	}
+	minT := spec.TopicsPerUserMin
+	if minT > maxT {
+		minT = maxT
+	}
+	prof, err := gen.Profiles(gen.ProfilesConfig{
+		NumUsers:     spec.NumUsers,
+		NumTopics:    spec.NumTopics,
+		MinTopics:    minT,
+		MaxTopics:    maxT,
+		ZipfExponent: spec.ZipfExponent,
+		Seed:         spec.Seed + 0x70F1C,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{graph: g, profiles: prof}, nil
+}
+
+// NewDataset builds a dataset from explicit edges and profile triples.
+// profileTriples rows are (user, topicID, tf). Intended for small custom
+// scenarios and tests; large datasets should use the binary loaders.
+func NewDataset(numUsers, numTopics int, edges []Edge, profileTriples [][3]float64) (*Dataset, error) {
+	g, err := graph.FromEdges(numUsers, edges)
+	if err != nil {
+		return nil, err
+	}
+	b := topic.NewBuilder(numUsers, numTopics)
+	for i, row := range profileTriples {
+		user := uint32(row[0])
+		topicID := int(row[1])
+		if float64(user) != row[0] || float64(topicID) != row[1] {
+			return nil, fmt.Errorf("kbtim: non-integral user/topic in profile row %d", i)
+		}
+		if err := b.Set(user, topicID, row[2]); err != nil {
+			return nil, fmt.Errorf("kbtim: profile row %d: %w", i, err)
+		}
+	}
+	return &Dataset{graph: g, profiles: b.Build()}, nil
+}
+
+// SaveDataset writes the graph and profiles as two binary files.
+func SaveDataset(d *Dataset, graphPath, profilePath string) error {
+	gf, err := os.Create(graphPath)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteBinary(gf, d.graph); err != nil {
+		gf.Close()
+		return err
+	}
+	if err := gf.Close(); err != nil {
+		return err
+	}
+	pf, err := os.Create(profilePath)
+	if err != nil {
+		return err
+	}
+	if err := topic.WriteBinary(pf, d.profiles); err != nil {
+		pf.Close()
+		return err
+	}
+	return pf.Close()
+}
+
+// LoadDataset reads a dataset written by SaveDataset.
+func LoadDataset(graphPath, profilePath string) (*Dataset, error) {
+	gf, err := os.Open(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	defer gf.Close()
+	g, err := graph.ReadBinary(gf)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	prof, err := topic.ReadBinary(pf)
+	if err != nil {
+		return nil, err
+	}
+	if prof.NumUsers() != g.NumVertices() {
+		return nil, fmt.Errorf("kbtim: graph has %d vertices but profiles cover %d users",
+			g.NumVertices(), prof.NumUsers())
+	}
+	return &Dataset{graph: g, profiles: prof}, nil
+}

@@ -1,0 +1,382 @@
+package kbtim
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"kbtim/internal/codec"
+	"kbtim/internal/diskio"
+	"kbtim/internal/irrindex"
+	"kbtim/internal/prop"
+	"kbtim/internal/rng"
+	"kbtim/internal/rrindex"
+	"kbtim/internal/wris"
+)
+
+// Options tunes an Engine. The zero value of every field selects a sensible
+// default (ε=0.1, K=100, IC model, compression on, δ=100).
+type Options struct {
+	// Epsilon is the ε of the (1−1/e−ε) guarantee; θ scales with 1/ε².
+	// The paper uses 0.1; laptop-scale runs often prefer 0.3–0.5.
+	Epsilon float64
+	// K is the system cap on Q.k the offline indexes are sized for (§4.2).
+	K int
+	// Model selects IC (default) or LT propagation.
+	Model Model
+	// Compress toggles inverted-list compression. Defaults to true (the
+	// paper's adopted configuration after Table 4); set CompressOff to
+	// disable.
+	CompressOff bool
+	// PartitionSize is the IRR δ (default 100, as in the paper).
+	PartitionSize int
+	// ThetaHatSizing switches index sizing to the conservative θ̂_w bound
+	// of Eqn 8 (Table 3's ablation). Default is the improved θ_w (Eqn 10).
+	ThetaHatSizing bool
+	// MaxThetaPerKeyword caps per-keyword sample counts (0 = uncapped).
+	// Capping keeps laptop builds bounded but voids the formal guarantee
+	// when hit; Result.ThetaCapped reports it.
+	MaxThetaPerKeyword int
+	// PilotSets is the sampling budget of each OPT estimation (default
+	// 4096).
+	PilotSets int
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// Workers bounds sampling parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) wrisConfig() wris.Config {
+	cfg := wris.DefaultConfig()
+	if o.Epsilon != 0 {
+		cfg.Epsilon = o.Epsilon
+	}
+	if o.K != 0 {
+		cfg.K = o.K
+	}
+	if o.PilotSets != 0 {
+		cfg.PilotSets = o.PilotSets
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	cfg.MaxThetaPerKeyword = o.MaxThetaPerKeyword
+	cfg.Workers = o.Workers
+	return cfg
+}
+
+func (o Options) compression() codec.Compression {
+	if o.CompressOff {
+		return codec.Raw
+	}
+	return codec.Delta
+}
+
+func (o Options) sizing() wris.SizingMode {
+	if o.ThetaHatSizing {
+		return wris.SizeThetaHat
+	}
+	return wris.SizeTheta
+}
+
+// IOStats summarizes the logical disk activity of one index query.
+type IOStats struct {
+	SequentialReads int64
+	RandomReads     int64
+	BytesRead       int64
+}
+
+// Total returns the total logical read operations (the Table 6 metric).
+func (s IOStats) Total() int64 { return s.SequentialReads + s.RandomReads }
+
+// Result reports one query run, for any of the processing strategies.
+type Result struct {
+	// Seeds are the selected seed users, in selection order.
+	Seeds []Seed
+	// EstSpread is the estimated expected targeted influence E[I^Q(S)]
+	// in tf-idf units (vertex counts for QueryRIS).
+	EstSpread float64
+	// NumRRSets is the number of RR sets examined/loaded (the Figures 5–7
+	// series).
+	NumRRSets int
+	// ThetaCapped is true when MaxThetaPerKeyword truncated sampling,
+	// voiding the formal guarantee for this run.
+	ThetaCapped bool
+	// IO is the disk activity (zero for the online strategies).
+	IO IOStats
+	// PartitionsLoaded counts IRR partition fetches (zero elsewhere).
+	PartitionsLoaded int
+	// Elapsed is the wall-clock processing time.
+	Elapsed time.Duration
+}
+
+// BuildReport summarizes an index build (Tables 3–5).
+type BuildReport struct {
+	// Bytes is the index file size.
+	Bytes int64
+	// SumTheta is Σ_w θ_w, the total number of pre-sampled RR sets.
+	SumTheta int64
+	// MeanRRSetSize is the average RR-set cardinality.
+	MeanRRSetSize float64
+	// Keywords is the number of indexed keywords.
+	Keywords int
+	// Capped counts keywords whose θ_w hit MaxThetaPerKeyword.
+	Capped int
+	// Elapsed is the build wall-clock time.
+	Elapsed time.Duration
+}
+
+// Engine answers KB-TIM queries over one dataset. Create with NewEngine,
+// then either query online (QueryWRIS) or build/open a disk index and use
+// QueryRR / QueryIRR. An Engine is safe for sequential use; concurrent
+// queries should use one Engine per goroutine sharing the same files.
+type Engine struct {
+	ds    *Dataset
+	opts  Options
+	model prop.Model
+	cfg   wris.Config
+
+	rrFile  *diskio.File
+	rr      *rrindex.Index
+	irrFile *diskio.File
+	irr     *irrindex.Index
+}
+
+// NewEngine validates options and binds them to a dataset.
+func NewEngine(ds *Dataset, opts Options) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("kbtim: nil dataset")
+	}
+	model, err := opts.Model.internal()
+	if err != nil {
+		return nil, err
+	}
+	cfg := opts.wrisConfig()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.PartitionSize < 0 {
+		return nil, fmt.Errorf("kbtim: negative partition size")
+	}
+	return &Engine{ds: ds, opts: opts, model: model, cfg: cfg}, nil
+}
+
+// Close releases any open index files.
+func (e *Engine) Close() error {
+	var first error
+	if e.rrFile != nil {
+		if err := e.rrFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.rrFile, e.rr = nil, nil
+	}
+	if e.irrFile != nil {
+		if err := e.irrFile.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.irrFile, e.irr = nil, nil
+	}
+	return first
+}
+
+// BuildRRIndex builds the disk-based RR index (Algorithm 1) at path.
+func (e *Engine) BuildRRIndex(path string) (*BuildReport, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := rrindex.Build(f, e.ds.graph, e.model, e.ds.profiles, e.cfg, rrindex.BuildOptions{
+		Compression: e.opts.compression(),
+		Sizing:      e.opts.sizing(),
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	capped := 0
+	for _, k := range stats.Keywords {
+		if k.Capped {
+			capped++
+		}
+	}
+	return &BuildReport{
+		Bytes:         stats.TotalBytes,
+		SumTheta:      stats.SumTheta(),
+		MeanRRSetSize: stats.MeanRRSize(),
+		Keywords:      len(stats.Keywords),
+		Capped:        capped,
+		Elapsed:       stats.Elapsed,
+	}, nil
+}
+
+// BuildIRRIndex builds the incremental IRR index (Algorithm 3) at path.
+func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := irrindex.Build(f, e.ds.graph, e.model, e.ds.profiles, e.cfg, irrindex.BuildOptions{
+		Compression:   e.opts.compression(),
+		Sizing:        e.opts.sizing(),
+		PartitionSize: e.opts.PartitionSize,
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	capped := 0
+	for _, k := range stats.Keywords {
+		if k.Capped {
+			capped++
+		}
+	}
+	return &BuildReport{
+		Bytes:         stats.TotalBytes,
+		SumTheta:      stats.SumTheta(),
+		MeanRRSetSize: stats.MeanRRSize(),
+		Keywords:      len(stats.Keywords),
+		Capped:        capped,
+		Elapsed:       stats.Elapsed,
+	}, nil
+}
+
+// OpenRRIndex attaches a previously built RR index for QueryRR.
+func (e *Engine) OpenRRIndex(path string) error {
+	f, err := diskio.Open(path, diskio.NewCounter())
+	if err != nil {
+		return err
+	}
+	idx, err := rrindex.Open(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if old := e.rrFile; old != nil {
+		old.Close()
+	}
+	e.rrFile, e.rr = f, idx
+	return nil
+}
+
+// OpenIRRIndex attaches a previously built IRR index for QueryIRR.
+func (e *Engine) OpenIRRIndex(path string) error {
+	f, err := diskio.Open(path, diskio.NewCounter())
+	if err != nil {
+		return err
+	}
+	idx, err := irrindex.Open(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if old := e.irrFile; old != nil {
+		old.Close()
+	}
+	e.irrFile, e.irr = f, idx
+	return nil
+}
+
+// QueryWRIS answers q with online weighted sampling (§3.2) — the
+// theoretically clean but slow baseline.
+func (e *Engine) QueryWRIS(q Query) (*Result, error) {
+	r, err := wris.Query(e.ds.graph, e.model, e.ds.profiles, q.internal(), e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seeds:       r.Seeds,
+		EstSpread:   r.EstSpread,
+		NumRRSets:   r.NumRRSets,
+		ThetaCapped: r.ThetaCapped,
+		Elapsed:     r.Elapsed,
+	}, nil
+}
+
+// QueryRIS answers a classic non-targeted IM query (top-k influencers
+// regardless of the advertisement) — the Table 8 comparator.
+func (e *Engine) QueryRIS(k int) (*Result, error) {
+	r, err := wris.QueryRIS(e.ds.graph, e.model, k, e.cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seeds:       r.Seeds,
+		EstSpread:   r.EstSpread,
+		NumRRSets:   r.NumRRSets,
+		ThetaCapped: r.ThetaCapped,
+		Elapsed:     r.Elapsed,
+	}, nil
+}
+
+// QueryRR answers q from the opened RR index (Algorithm 2).
+func (e *Engine) QueryRR(q Query) (*Result, error) {
+	if e.rr == nil {
+		return nil, fmt.Errorf("kbtim: no RR index opened (call OpenRRIndex)")
+	}
+	r, err := e.rr.Query(q.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seeds:     r.Seeds,
+		EstSpread: r.EstSpread,
+		NumRRSets: r.NumRRSets,
+		IO: IOStats{
+			SequentialReads: r.IO.SequentialReads,
+			RandomReads:     r.IO.RandomReads,
+			BytesRead:       r.IO.BytesRead,
+		},
+		Elapsed: r.Elapsed,
+	}, nil
+}
+
+// QueryIRR answers q from the opened IRR index (Algorithm 4).
+func (e *Engine) QueryIRR(q Query) (*Result, error) {
+	if e.irr == nil {
+		return nil, fmt.Errorf("kbtim: no IRR index opened (call OpenIRRIndex)")
+	}
+	r, err := e.irr.Query(q.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seeds:     r.Seeds,
+		EstSpread: r.EstSpread,
+		NumRRSets: r.NumRRSets,
+		IO: IOStats{
+			SequentialReads: r.IO.SequentialReads,
+			RandomReads:     r.IO.RandomReads,
+			BytesRead:       r.IO.BytesRead,
+		},
+		PartitionsLoaded: r.PartitionsLoaded,
+		Elapsed:          r.Elapsed,
+	}, nil
+}
+
+// EvaluateSpread Monte-Carlo-estimates the true expected targeted influence
+// E[I^Q(S)] of a seed set under the engine's propagation model (the Table 7
+// methodology). rounds of 10000 give ±1% on the scales used here.
+func (e *Engine) EvaluateSpread(seeds []Seed, q Query, rounds int) (float64, error) {
+	if rounds <= 0 {
+		return 0, fmt.Errorf("kbtim: rounds must be positive")
+	}
+	if err := q.internal().Validate(e.ds.NumTopics()); err != nil {
+		return 0, err
+	}
+	score := func(v uint32) float64 { return e.ds.profiles.Score(v, q.internal()) }
+	return prop.EstimateWeightedSpread(e.ds.graph, e.model, seeds, score, rounds, rng.New(e.cfg.Seed^0xE7A1)), nil
+}
+
+// EvaluateReach Monte-Carlo-estimates the unweighted spread E[|I(S)|].
+func (e *Engine) EvaluateReach(seeds []Seed, rounds int) (float64, error) {
+	if rounds <= 0 {
+		return 0, fmt.Errorf("kbtim: rounds must be positive")
+	}
+	return prop.EstimateSpread(e.ds.graph, e.model, seeds, rounds, rng.New(e.cfg.Seed^0xEEA2)), nil
+}

@@ -1,0 +1,58 @@
+package kbtim_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kbtim"
+)
+
+// Example demonstrates the end-to-end KB-TIM flow: build a disk index
+// offline, then answer advertisement queries in real time.
+func Example() {
+	// The paper's Figure 1 running example: 7 users, 4 topics.
+	ds, err := kbtim.NewDataset(7, 4,
+		[]kbtim.Edge{
+			{From: 4, To: 0}, {From: 4, To: 1}, {From: 6, To: 1},
+			{From: 4, To: 2}, {From: 1, To: 2},
+			{From: 1, To: 3}, {From: 5, To: 3},
+		},
+		[][3]float64{
+			{0, 0, 0.6}, {1, 0, 0.5}, {2, 0, 0.5}, {4, 0, 0.3}, // topic 0 = "music"
+			{1, 1, 0.5}, {6, 1, 1.0}, // topic 1 = "book"
+		})
+	if err != nil {
+		panic(err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            0.3,
+		K:                  5,
+		MaxThetaPerKeyword: 20000,
+		Seed:               17,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer eng.Close()
+
+	dir, err := os.MkdirTemp("", "kbtim-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ads.irr")
+	if _, err := eng.BuildIRRIndex(path); err != nil {
+		panic(err)
+	}
+	if err := eng.OpenIRRIndex(path); err != nil {
+		panic(err)
+	}
+
+	res, err := eng.QueryIRR(kbtim.Query{Topics: []int{0}, K: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d seeds selected for the music advertisement\n", len(res.Seeds))
+	// Output: 2 seeds selected for the music advertisement
+}

@@ -1,0 +1,106 @@
+// Ad campaign: shows why targeted influence maximization matters. Several
+// advertisements with different keyword profiles are planned over the same
+// social network; the classic (non-targeted) RIS algorithm returns one
+// fixed celebrity list for all of them, while KB-TIM picks per-ad seeds
+// that reach the relevant audience — the paper's Table 8 phenomenon.
+//
+// Run with:
+//
+//	go run ./examples/adcampaign
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"kbtim"
+)
+
+// The campaign's advertisements: keyword sets over a 16-topic space.
+var ads = []struct {
+	name   string
+	topics []int
+}{
+	{"sports-drink launch", []int{0, 5}},
+	{"indie-game preorder", []int{3, 9}},
+	{"luxury-car lease", []int{11, 14}},
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind:      kbtim.TwitterLike,
+		NumUsers:  15000,
+		AvgDegree: 8,
+		NumTopics: 16,
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            0.3,
+		K:                  50,
+		MaxThetaPerKeyword: 150000,
+		Seed:               7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	dir, err := os.MkdirTemp("", "kbtim-campaign")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "campaign.rr")
+	if _, err := eng.BuildRRIndex(path); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.OpenRRIndex(path); err != nil {
+		log.Fatal(err)
+	}
+
+	// The non-targeted baseline: same seeds for every ad.
+	const k = 8
+	ris, err := eng.QueryRIS(k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classic RIS (target-blind) seeds, reused for every ad:\n  %v\n\n", ris.Seeds)
+
+	for _, ad := range ads {
+		q := kbtim.Query{Topics: ad.topics, K: k}
+		res, err := eng.QueryRR(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		targeted, err := eng.EvaluateSpread(res.Seeds, q, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blind, err := eng.EvaluateSpread(ris.Seeds, q, 2000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		overlap := 0
+		inRIS := map[kbtim.Seed]bool{}
+		for _, s := range ris.Seeds {
+			inRIS[s] = true
+		}
+		for _, s := range res.Seeds {
+			if inRIS[s] {
+				overlap++
+			}
+		}
+		fmt.Printf("%-22s topics %v\n", ad.name, ad.topics)
+		fmt.Printf("  KB-TIM seeds: %v (%.0f%% overlap with RIS)\n",
+			res.Seeds, 100*float64(overlap)/float64(k))
+		fmt.Printf("  targeted influence: KB-TIM %.1f vs target-blind %.1f (%.2fx)\n\n",
+			targeted, blind, targeted/blind)
+	}
+}

@@ -1,0 +1,137 @@
+// Real-time serving: the paper's headline claim is that index-based KB-TIM
+// query processing turns minutes of online sampling into interactive
+// latencies. This example builds both disk indexes once, then serves a
+// stream of advertisement queries and reports per-method latency
+// percentiles — including one (deliberately slow) online WRIS query for
+// contrast.
+//
+// Run with:
+//
+//	go run ./examples/realtime
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"kbtim"
+)
+
+func percentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func main() {
+	log.SetFlags(0)
+
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind:      kbtim.TwitterLike,
+		NumUsers:  30000,
+		AvgDegree: 10,
+		NumTopics: 24,
+		Seed:      3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            0.35,
+		K:                  50,
+		MaxThetaPerKeyword: 150000,
+		Seed:               3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	dir, err := os.MkdirTemp("", "kbtim-realtime")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("building indexes (offline) ...")
+	startBuild := time.Now()
+	if _, err := eng.BuildRRIndex(filepath.Join(dir, "ads.rr")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.BuildIRRIndex(filepath.Join(dir, "ads.irr")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  done in %v\n\n", time.Since(startBuild).Round(time.Millisecond))
+	if err := eng.OpenRRIndex(filepath.Join(dir, "ads.rr")); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.OpenIRRIndex(filepath.Join(dir, "ads.irr")); err != nil {
+		log.Fatal(err)
+	}
+
+	// A stream of 60 advertisements with 1–3 keywords each.
+	var queries []kbtim.Query
+	for i := 0; i < 60; i++ {
+		topics := []int{i % 24}
+		if i%2 == 0 {
+			topics = append(topics, (i*7+3)%24)
+		}
+		if i%3 == 0 {
+			topics = append(topics, (i*5+11)%24)
+		}
+		topics = dedup(topics)
+		queries = append(queries, kbtim.Query{Topics: topics, K: 10})
+	}
+
+	var rrLat, irrLat []time.Duration
+	for _, q := range queries {
+		rrRes, err := eng.QueryRR(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rrLat = append(rrLat, rrRes.Elapsed)
+		irrRes, err := eng.QueryIRR(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		irrLat = append(irrLat, irrRes.Elapsed)
+	}
+	wrisRes, err := eng.QueryWRIS(queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("served %d queries\n", len(queries))
+	fmt.Printf("  %-12s p50 %-10v p95 %-10v max %v\n", "RR index:",
+		percentile(rrLat, 0.5).Round(time.Microsecond),
+		percentile(rrLat, 0.95).Round(time.Microsecond),
+		percentile(rrLat, 1).Round(time.Microsecond))
+	fmt.Printf("  %-12s p50 %-10v p95 %-10v max %v\n", "IRR index:",
+		percentile(irrLat, 0.5).Round(time.Microsecond),
+		percentile(irrLat, 0.95).Round(time.Microsecond),
+		percentile(irrLat, 1).Round(time.Microsecond))
+	fmt.Printf("  %-12s %v for ONE query (all sampling online)\n",
+		"WRIS:", wrisRes.Elapsed.Round(time.Millisecond))
+	fmt.Printf("\nonline/index speedup: %.0fx over RR's p50\n",
+		float64(wrisRes.Elapsed)/float64(percentile(rrLat, 0.5)))
+}
+
+func dedup(xs []int) []int {
+	seen := map[int]bool{}
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// table is a minimal fixed-width text-table renderer for experiment output.
+type table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+func newTable(title string, headers ...string) *table {
+	return &table{title: title, headers: headers}
+}
+
+func (t *table) add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3g", v)
+		case int:
+			row[i] = fmt.Sprintf("%d", v)
+		case int64:
+			row[i] = fmt.Sprintf("%d", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.rows = append(t.rows, []string{fmt.Sprintf(format, args...)})
+}
+
+func (t *table) write(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		if len(row) == 1 && len(t.headers) > 1 {
+			continue // footnotes don't widen columns
+		}
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("\n== " + t.title + " ==\n")
+	if len(t.headers) > 0 {
+		for i, h := range t.headers {
+			fmt.Fprintf(&sb, "%-*s  ", widths[i], h)
+		}
+		sb.WriteString("\n")
+		for i := range t.headers {
+			sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+		}
+		sb.WriteString("\n")
+	}
+	for _, row := range t.rows {
+		if len(row) == 1 && len(t.headers) > 1 {
+			sb.WriteString(row[0] + "\n") // footnote line
+			continue
+		}
+		for i, c := range row {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			} else {
+				sb.WriteString(c + "  ")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func mb(bytes int64) string {
+	return fmt.Sprintf("%.2f", float64(bytes)/(1<<20))
+}
+
+func secs(s float64) string {
+	return fmt.Sprintf("%.2f", s)
+}
+
+func ms(s float64) string {
+	return fmt.Sprintf("%.2f", s*1000)
+}

@@ -1,0 +1,101 @@
+// Package binfmt provides the little cursor-style binary readers the index
+// formats share. Every index file is parsed through Reader so truncation and
+// garbage are caught at a single chokepoint instead of being scattered
+// through format code.
+package binfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTruncated reports a read past the end of the buffer.
+var ErrTruncated = errors.New("binfmt: truncated input")
+
+// Reader is a sequential cursor over a byte slice with sticky error capture:
+// after the first failure every subsequent read is a no-op and Err reports
+// the original cause.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+// NewReader wraps buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Pos returns the current cursor position.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.pos }
+
+// Fail records err (if no earlier error exists).
+func (r *Reader) Fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Bytes consumes and returns n raw bytes (aliasing the input buffer).
+func (r *Reader) Bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.err = fmt.Errorf("%w: need %d bytes at offset %d of %d", ErrTruncated, n, r.pos, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 consumes one byte.
+func (r *Reader) U8() byte {
+	b := r.Bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 consumes a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.Bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 consumes a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.Bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F64 consumes a little-endian float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Uvarint consumes one LEB128 varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("%w: bad uvarint at offset %d", ErrTruncated, r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}

@@ -1,0 +1,77 @@
+package binfmt
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+func TestReaderSequence(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 7)
+	buf = binary.LittleEndian.AppendUint32(buf, 42)
+	buf = binary.LittleEndian.AppendUint64(buf, 1<<40)
+	buf = binary.AppendUvarint(buf, 300)
+	buf = append(buf, 'h', 'i')
+
+	r := NewReader(buf)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U32(); got != 42 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.U64(); got != 1<<40 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := string(r.Bytes(2)); got != "hi" {
+		t.Fatalf("Bytes = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32() // fails: needs 4 bytes
+	if r.Err() == nil {
+		t.Fatal("no error after overread")
+	}
+	// Subsequent reads are no-ops returning zero values.
+	if r.U8() != 0 || r.U64() != 0 || r.Uvarint() != 0 || r.Bytes(1) != nil {
+		t.Fatal("reads after error not zeroed")
+	}
+}
+
+func TestReaderBadVarint(t *testing.T) {
+	r := NewReader([]byte{0x80, 0x80})
+	r.Uvarint()
+	if r.Err() == nil {
+		t.Fatal("unterminated varint accepted")
+	}
+}
+
+func TestReaderNegativeLength(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if r.Bytes(-1) != nil || r.Err() == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestFail(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	r.Fail(ErrTruncated)
+	if r.Err() != ErrTruncated {
+		t.Fatal("Fail did not stick")
+	}
+	r.Fail(nil) // must not overwrite
+	if r.Err() != ErrTruncated {
+		t.Fatal("Fail overwrote original error")
+	}
+}

@@ -1,0 +1,241 @@
+// Package coverage implements the greedy maximum-coverage solver used by
+// every query-processing path in the paper (step 2 of RIS, lines 6–14 of
+// Algorithm 2): given θ RR sets, pick k users covering the largest number of
+// sets. Greedy gives the (1−1/e) factor that, combined with the sampling
+// bound, yields the overall (1−1/e−ε) guarantee (proof sketch S3–S4).
+//
+// Two implementations are provided: Solve, the textbook scan-and-update
+// greedy the paper uses for the RR index; and SolveLazy, a CELF-style lazily
+// re-evaluated greedy (ablation — see DESIGN.md). Both use identical
+// deterministic tie-breaking (larger count first, then smaller vertex ID),
+// so they return identical seed sequences.
+package coverage
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Instance is a maximum-coverage instance: NumSets RR sets over vertices in
+// [0, NumVertices), presented through the vertex → set-IDs inverted lists.
+// Lists[v] must be sorted ascending and duplicate-free; vertices absent from
+// every set may have nil lists.
+type Instance struct {
+	NumVertices int
+	NumSets     int
+	Lists       [][]int32
+}
+
+// Result is the outcome of a greedy run.
+type Result struct {
+	Seeds    []uint32 // selected vertices, in selection order
+	Marginal []int    // Marginal[i] = newly covered sets when Seeds[i] was picked
+	Covered  int      // total sets covered
+}
+
+// Validate checks instance consistency.
+func (in *Instance) Validate() error {
+	if in.NumVertices < 0 || in.NumSets < 0 {
+		return fmt.Errorf("coverage: negative dimensions")
+	}
+	if len(in.Lists) != in.NumVertices {
+		return fmt.Errorf("coverage: %d lists for %d vertices", len(in.Lists), in.NumVertices)
+	}
+	for v, list := range in.Lists {
+		for i, id := range list {
+			if id < 0 || int(id) >= in.NumSets {
+				return fmt.Errorf("coverage: vertex %d references set %d outside [0,%d)", v, id, in.NumSets)
+			}
+			if i > 0 && list[i-1] >= id {
+				return fmt.Errorf("coverage: vertex %d list not strictly ascending", v)
+			}
+		}
+	}
+	return nil
+}
+
+// Solve runs the plain greedy: k iterations, each scanning for the vertex
+// with the largest number of uncovered sets, then marking that vertex's sets
+// covered and decrementing the counts of co-members. members(setID) must
+// yield the vertices of a set; the disk indexes supply it from R, the
+// in-memory path from the batch.
+func Solve(in *Instance, k int, members func(setID int32) []uint32) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("coverage: k must be positive, got %d", k)
+	}
+	counts := make([]int, in.NumVertices)
+	for v, list := range in.Lists {
+		counts[v] = len(list)
+	}
+	covered := make([]bool, in.NumSets)
+	picked := make([]bool, in.NumVertices)
+	var res Result
+	for iter := 0; iter < k && iter < in.NumVertices; iter++ {
+		best, bestCount := -1, -1
+		for v := 0; v < in.NumVertices; v++ {
+			if !picked[v] && counts[v] > bestCount {
+				best, bestCount = v, counts[v]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		picked[best] = true
+		res.Seeds = append(res.Seeds, uint32(best))
+		res.Marginal = append(res.Marginal, bestCount)
+		res.Covered += bestCount
+		for _, setID := range in.Lists[best] {
+			if covered[setID] {
+				continue
+			}
+			covered[setID] = true
+			for _, u := range members(setID) {
+				counts[u]--
+			}
+		}
+	}
+	return res, nil
+}
+
+// celfEntry is a lazily evaluated candidate in SolveLazy.
+type celfEntry struct {
+	vertex uint32
+	count  int // possibly stale upper bound on marginal coverage
+	round  int // iteration at which count was computed
+}
+
+type celfHeap []celfEntry
+
+func (h celfHeap) Len() int { return len(h) }
+func (h celfHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	return h[i].vertex < h[j].vertex
+}
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SolveLazy runs CELF-style greedy: marginal counts are only refreshed for
+// the heap top, exploiting submodularity (stale counts are valid upper
+// bounds). Returns exactly the same seeds as Solve under the shared
+// tie-breaking rule.
+func SolveLazy(in *Instance, k int, members func(setID int32) []uint32) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	if k <= 0 {
+		return Result{}, fmt.Errorf("coverage: k must be positive, got %d", k)
+	}
+	covered := make([]bool, in.NumSets)
+	// Every vertex enters the heap (zero-count ones too) so that the
+	// zero-marginal tie-breaking matches Solve exactly.
+	h := make(celfHeap, 0, in.NumVertices)
+	for v, list := range in.Lists {
+		h = append(h, celfEntry{vertex: uint32(v), count: len(list), round: 0})
+	}
+	heap.Init(&h)
+
+	fresh := func(v uint32) int {
+		c := 0
+		for _, setID := range in.Lists[v] {
+			if !covered[setID] {
+				c++
+			}
+		}
+		return c
+	}
+
+	var res Result
+	for iter := 1; len(res.Seeds) < k && h.Len() > 0; {
+		top := h[0]
+		if top.round != iter {
+			// Refresh and push back; only when the refreshed entry stays on
+			// top is it selected (next loop turn).
+			h[0].count = fresh(top.vertex)
+			h[0].round = iter
+			heap.Fix(&h, 0)
+			continue
+		}
+		heap.Pop(&h)
+		res.Seeds = append(res.Seeds, top.vertex)
+		res.Marginal = append(res.Marginal, top.count)
+		res.Covered += top.count
+		for _, setID := range in.Lists[top.vertex] {
+			covered[setID] = true
+		}
+		iter++
+	}
+	_ = members // signature symmetry with Solve; lazy path never rescans members
+	return res, nil
+}
+
+// BruteForceBest returns the maximum number of sets coverable by any k
+// vertices, by exhaustive search. Exponential — tests only.
+func BruteForceBest(in *Instance, k int) (int, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	best := 0
+	cur := make([]uint32, 0, k)
+	var recurse func(start int)
+	covered := make([]int, in.NumSets) // reference counts
+	total := 0
+	add := func(v uint32) {
+		for _, id := range in.Lists[v] {
+			if covered[id] == 0 {
+				total++
+			}
+			covered[id]++
+		}
+	}
+	remove := func(v uint32) {
+		for _, id := range in.Lists[v] {
+			covered[id]--
+			if covered[id] == 0 {
+				total--
+			}
+		}
+	}
+	recurse = func(start int) {
+		if len(cur) == k || start == in.NumVertices {
+			if total > best {
+				best = total
+			}
+			return
+		}
+		// Prune: even covering everything can't beat best.
+		if total+in.NumSets-coveredCount(covered) <= best {
+			return
+		}
+		for v := start; v < in.NumVertices; v++ {
+			cur = append(cur, uint32(v))
+			add(uint32(v))
+			recurse(v + 1)
+			remove(uint32(v))
+			cur = cur[:len(cur)-1]
+		}
+	}
+	recurse(0)
+	return best, nil
+}
+
+func coveredCount(ref []int) int {
+	c := 0
+	for _, r := range ref {
+		if r > 0 {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,153 @@
+package diskio
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterSequentialVsRandom(t *testing.T) {
+	c := NewCounter()
+	c.Record(0, 10)  // first read: random (seek from nowhere)
+	c.Record(10, 10) // continues: sequential
+	c.Record(20, 5)  // continues: sequential
+	c.Record(100, 5) // jump: random
+	c.Record(105, 1) // continues: sequential
+	s := c.Stats()
+	if s.RandomReads != 2 || s.SequentialReads != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BytesRead != 31 {
+		t.Fatalf("bytes = %d", s.BytesRead)
+	}
+	if s.Total() != 5 {
+		t.Fatalf("total = %d", s.Total())
+	}
+}
+
+func TestCounterReset(t *testing.T) {
+	c := NewCounter()
+	c.Record(0, 4)
+	c.Reset()
+	if c.Stats() != (Stats{}) {
+		t.Fatal("reset did not clear stats")
+	}
+	c.Record(4, 4) // after reset, adjacency is forgotten → random
+	if c.Stats().RandomReads != 1 {
+		t.Fatal("adjacency survived reset")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{SequentialReads: 1, RandomReads: 2, BytesRead: 3}
+	b := Stats{SequentialReads: 10, RandomReads: 20, BytesRead: 30}
+	want := Stats{SequentialReads: 11, RandomReads: 22, BytesRead: 33}
+	if a.Add(b) != want {
+		t.Fatalf("Add = %+v", a.Add(b))
+	}
+}
+
+func TestCounterConcurrentSafety(t *testing.T) {
+	c := NewCounter()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Record(int64(j), 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Stats().Total() != 8000 {
+		t.Fatalf("lost records: %+v", c.Stats())
+	}
+}
+
+func TestMemReadSegment(t *testing.T) {
+	data := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	m := NewMem(data, nil)
+	seg, err := m.ReadSegment(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seg, []byte{2, 3, 4}) {
+		t.Fatalf("segment = %v", seg)
+	}
+	if m.Size() != 8 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if _, err := m.ReadSegment(6, 4); err == nil {
+		t.Fatal("overlong segment accepted")
+	}
+	if _, err := m.ReadSegment(-1, 2); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if m.Counter().Stats().Total() != 1 {
+		t.Fatalf("counted %d ops", m.Counter().Stats().Total())
+	}
+}
+
+func TestMemReadAt(t *testing.T) {
+	m := NewMem([]byte{9, 8, 7}, nil)
+	buf := make([]byte, 2)
+	n, err := m.ReadAt(buf, 1)
+	if err != nil || n != 2 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if buf[0] != 8 || buf[1] != 7 {
+		t.Fatalf("buf = %v", buf)
+	}
+	if _, err := m.ReadAt(buf, 5); err == nil {
+		t.Fatal("read past end accepted")
+	}
+	// Short read at the boundary returns EOF.
+	if n, err := m.ReadAt(make([]byte, 4), 1); n != 2 || err == nil {
+		t.Fatalf("boundary read = %d, %v", n, err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "seg.bin")
+	payload := []byte("hello, indexed world")
+	if err := os.WriteFile(path, payload, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCounter()
+	f, err := Open(path, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Size() != int64(len(payload)) {
+		t.Fatalf("size = %d", f.Size())
+	}
+	seg, err := f.ReadSegment(7, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(seg) != "indexed" {
+		t.Fatalf("segment %q", seg)
+	}
+	// Sequential continuation.
+	if _, err := f.ReadSegment(14, 6); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.RandomReads != 1 || s.SequentialReads != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if _, err := f.ReadSegment(0, 100); err == nil {
+		t.Fatal("oversized segment accepted")
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing"), nil); err == nil {
+		t.Fatal("missing file opened")
+	}
+}

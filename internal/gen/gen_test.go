@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"kbtim/internal/graph"
+)
+
+func TestTwitterLikeBasic(t *testing.T) {
+	g, err := TwitterLike(TwitterLikeConfig{N: 2000, AvgDegree: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Fatalf("N = %d", g.NumVertices())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := g.AvgDegree()
+	if avg < 8 || avg > 10.5 {
+		t.Fatalf("avg degree %v, want ≈10", avg)
+	}
+}
+
+func TestTwitterLikeHeavyTail(t *testing.T) {
+	g, err := TwitterLike(TwitterLikeConfig{N: 5000, AvgDegree: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := graph.InDegreeHistogram(g)
+	// Heavy tail: the max in-degree should vastly exceed the average.
+	if h.MaxDegree() < 10*int(g.AvgDegree()) {
+		t.Fatalf("max in-degree %d not heavy-tailed (avg %v)", h.MaxDegree(), g.AvgDegree())
+	}
+	// The unbucketed least-squares fit is noisy (tail singletons flatten
+	// it), so only sanity-check that a decaying trend exists.
+	slope := h.PowerLawSlope()
+	if slope < 0.4 || slope > 4 {
+		t.Fatalf("power-law slope %v outside plausible range", slope)
+	}
+}
+
+func TestTwitterLikeDeterministic(t *testing.T) {
+	g1, _ := TwitterLike(TwitterLikeConfig{N: 500, AvgDegree: 5, Seed: 42})
+	g2, _ := TwitterLike(TwitterLikeConfig{N: 500, AvgDegree: 5, Seed: 42})
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("same seed produced different edge lists")
+		}
+	}
+	g3, _ := TwitterLike(TwitterLikeConfig{N: 500, AvgDegree: 5, Seed: 43})
+	if g3.NumEdges() == g1.NumEdges() {
+		same := true
+		e3 := g3.Edges()
+		for i := range e1 {
+			if e1[i] != e3[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestTwitterLikeRejectsBadConfig(t *testing.T) {
+	if _, err := TwitterLike(TwitterLikeConfig{N: 1, AvgDegree: 2}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+	if _, err := TwitterLike(TwitterLikeConfig{N: 10, AvgDegree: 0}); err == nil {
+		t.Fatal("AvgDegree=0 accepted")
+	}
+}
+
+func TestNewsLikeBasic(t *testing.T) {
+	g, err := NewsLike(NewsLikeConfig{N: 3000, AvgDegree: 2.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := g.AvgDegree()
+	if avg < 2.0 || avg > 2.6 {
+		t.Fatalf("avg degree %v, want ≈2.5", avg)
+	}
+	// Light tail: max in-degree should stay small relative to N.
+	h := graph.InDegreeHistogram(g)
+	if h.MaxDegree() > 40 {
+		t.Fatalf("news-like max in-degree %d suspiciously large", h.MaxDegree())
+	}
+}
+
+func TestNewsLikeRejectsBadConfig(t *testing.T) {
+	if _, err := NewsLike(NewsLikeConfig{N: 0, AvgDegree: 2}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := NewsLike(NewsLikeConfig{N: 10, AvgDegree: 0}); err == nil {
+		t.Fatal("AvgDegree=0 accepted")
+	}
+}
+
+func TestProfilesBasic(t *testing.T) {
+	p, err := Profiles(DefaultProfilesConfig(1000, 50, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumUsers() != 1000 || p.NumTopics() != 50 {
+		t.Fatalf("dimensions %d×%d", p.NumUsers(), p.NumTopics())
+	}
+	// Every user's tf weights sum to 1.
+	for u := uint32(0); u < 1000; u++ {
+		_, tfs := p.UserTopics(u)
+		if len(tfs) < 1 || len(tfs) > 5 {
+			t.Fatalf("user %d has %d topics", u, len(tfs))
+		}
+		var sum float64
+		for _, tf := range tfs {
+			sum += tf
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("user %d tf sum %v", u, sum)
+		}
+	}
+}
+
+func TestProfilesZipfSkew(t *testing.T) {
+	p, err := Profiles(DefaultProfilesConfig(5000, 40, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Topic 0 should have much more mass than topic 39 under Zipf(1).
+	if p.TFSum(0) < 4*p.TFSum(39) {
+		t.Fatalf("Zipf skew missing: mass(0)=%v mass(39)=%v", p.TFSum(0), p.TFSum(39))
+	}
+}
+
+func TestProfilesRejectsBadConfig(t *testing.T) {
+	bad := []ProfilesConfig{
+		{NumUsers: 0, NumTopics: 5, MinTopics: 1, MaxTopics: 2},
+		{NumUsers: 5, NumTopics: 0, MinTopics: 1, MaxTopics: 2},
+		{NumUsers: 5, NumTopics: 5, MinTopics: 0, MaxTopics: 2},
+		{NumUsers: 5, NumTopics: 5, MinTopics: 3, MaxTopics: 2},
+		{NumUsers: 5, NumTopics: 5, MinTopics: 1, MaxTopics: 6},
+	}
+	for i, cfg := range bad {
+		if _, err := Profiles(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestQueriesWorkload(t *testing.T) {
+	cfg := DefaultQueryWorkloadConfig(30, 5)
+	cfg.PerLength = 20
+	qs, err := Queries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 6 {
+		t.Fatalf("lengths generated: %d", len(qs))
+	}
+	for l, batch := range qs {
+		if len(batch) != 20 {
+			t.Fatalf("length %d: %d queries", l, len(batch))
+		}
+		for _, q := range batch {
+			if len(q.Topics) != l {
+				t.Fatalf("query %v has wrong length (want %d)", q.Topics, l)
+			}
+			if err := q.Validate(30); err != nil {
+				t.Fatalf("invalid query generated: %v", err)
+			}
+		}
+	}
+}
+
+func TestQueriesRejectBadConfig(t *testing.T) {
+	if _, err := Queries(QueryWorkloadConfig{NumTopics: 0, Lengths: []int{1}, PerLength: 1, K: 1}); err == nil {
+		t.Fatal("zero topics accepted")
+	}
+	if _, err := Queries(QueryWorkloadConfig{NumTopics: 3, Lengths: []int{5}, PerLength: 1, K: 1}); err == nil {
+		t.Fatal("length > topics accepted")
+	}
+	if _, err := Queries(QueryWorkloadConfig{NumTopics: 3, Lengths: []int{1}, PerLength: 0, K: 1}); err == nil {
+		t.Fatal("zero PerLength accepted")
+	}
+}
+
+func TestTopicPopularity(t *testing.T) {
+	pop := TopicPopularity(4, 1)
+	want := []float64{1, 0.5, 1.0 / 3, 0.25}
+	for i := range want {
+		if math.Abs(pop[i]-want[i]) > 1e-12 {
+			t.Fatalf("pop = %v", pop)
+		}
+	}
+	uniform := TopicPopularity(3, 0)
+	for _, v := range uniform {
+		if v != 1 {
+			t.Fatalf("uniform pop = %v", uniform)
+		}
+	}
+}

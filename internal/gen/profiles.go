@@ -1,0 +1,101 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"kbtim/internal/rng"
+	"kbtim/internal/topic"
+)
+
+// ProfilesConfig controls the synthetic user-profile generator.
+type ProfilesConfig struct {
+	NumUsers     int
+	NumTopics    int     // |T|; the paper extracts 200 topics
+	MinTopics    int     // minimum topics per user (≥1)
+	MaxTopics    int     // maximum topics per user
+	ZipfExponent float64 // topic popularity skew; 0 = uniform, ~1 realistic
+	Seed         uint64
+}
+
+// DefaultProfilesConfig mirrors the paper's setup at reduced scale: a skewed
+// topic distribution where a few topics (sports, music, ...) dominate.
+func DefaultProfilesConfig(numUsers, numTopics int, seed uint64) ProfilesConfig {
+	return ProfilesConfig{
+		NumUsers:     numUsers,
+		NumTopics:    numTopics,
+		MinTopics:    1,
+		MaxTopics:    5,
+		ZipfExponent: 1.0,
+		Seed:         seed,
+	}
+}
+
+// Profiles generates a user-profile store: each user draws between MinTopics
+// and MaxTopics distinct topics, Zipf-weighted by topic rank, and assigns
+// random preference weights normalized to sum to 1 per user (as in Figure 1,
+// where each user's topic preferences sum to 1).
+func Profiles(cfg ProfilesConfig) (*topic.Profiles, error) {
+	if cfg.NumUsers <= 0 || cfg.NumTopics <= 0 {
+		return nil, fmt.Errorf("gen: profiles need positive dimensions, got %d users, %d topics", cfg.NumUsers, cfg.NumTopics)
+	}
+	if cfg.MinTopics < 1 || cfg.MaxTopics < cfg.MinTopics {
+		return nil, fmt.Errorf("gen: invalid topics-per-user range [%d,%d]", cfg.MinTopics, cfg.MaxTopics)
+	}
+	if cfg.MaxTopics > cfg.NumTopics {
+		return nil, fmt.Errorf("gen: MaxTopics %d exceeds topic space %d", cfg.MaxTopics, cfg.NumTopics)
+	}
+	src := rng.New(cfg.Seed)
+	pop := TopicPopularity(cfg.NumTopics, cfg.ZipfExponent)
+	alias, err := rng.NewAlias(pop)
+	if err != nil {
+		return nil, err
+	}
+
+	b := topic.NewBuilder(cfg.NumUsers, cfg.NumTopics)
+	picked := make([]int, 0, cfg.MaxTopics)
+	weights := make([]float64, 0, cfg.MaxTopics)
+	for u := 0; u < cfg.NumUsers; u++ {
+		k := cfg.MinTopics
+		if cfg.MaxTopics > cfg.MinTopics {
+			k += src.Intn(cfg.MaxTopics - cfg.MinTopics + 1)
+		}
+		picked = picked[:0]
+		weights = weights[:0]
+		seen := map[int]bool{}
+		for len(picked) < k {
+			w := alias.Sample(src)
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			picked = append(picked, w)
+			weights = append(weights, src.Float64()+0.1)
+		}
+		var total float64
+		for _, w := range weights {
+			total += w
+		}
+		for i, w := range picked {
+			if err := b.Set(uint32(u), w, weights[i]/total); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// TopicPopularity returns the unnormalized Zipf popularity vector
+// pop[w] = 1/(w+1)^s used by both the profile and query generators, so the
+// query workload targets the same skewed topics the profiles emphasize.
+func TopicPopularity(numTopics int, s float64) []float64 {
+	pop := make([]float64, numTopics)
+	for w := range pop {
+		if s == 0 {
+			pop[w] = 1
+		} else {
+			pop[w] = math.Pow(float64(w+1), -s)
+		}
+	}
+	return pop
+}

@@ -1,0 +1,73 @@
+package gen
+
+import (
+	"fmt"
+
+	"kbtim/internal/rng"
+	"kbtim/internal/topic"
+)
+
+// QueryWorkloadConfig controls the synthetic advertisement workload that
+// substitutes the filtered AOL query log of §6.1 (100 real keyword queries
+// per length 1..6, restricted to the 200 predefined topics).
+type QueryWorkloadConfig struct {
+	NumTopics    int
+	Lengths      []int   // query lengths to generate, e.g. 1..6
+	PerLength    int     // queries per length (paper: 100)
+	K            int     // Q.k assigned to each query
+	ZipfExponent float64 // keyword popularity skew (same as profiles)
+	Seed         uint64
+}
+
+// DefaultQueryWorkloadConfig mirrors the paper: lengths 1..6, 100 queries
+// each, default Q.k = 30.
+func DefaultQueryWorkloadConfig(numTopics int, seed uint64) QueryWorkloadConfig {
+	return QueryWorkloadConfig{
+		NumTopics:    numTopics,
+		Lengths:      []int{1, 2, 3, 4, 5, 6},
+		PerLength:    100,
+		K:            30,
+		ZipfExponent: 1.0,
+		Seed:         seed,
+	}
+}
+
+// Queries generates the workload grouped by query length:
+// result[L] holds the queries with |Q.T| = L.
+func Queries(cfg QueryWorkloadConfig) (map[int][]topic.Query, error) {
+	if cfg.NumTopics <= 0 {
+		return nil, fmt.Errorf("gen: queries need a positive topic space, got %d", cfg.NumTopics)
+	}
+	if cfg.PerLength <= 0 || cfg.K <= 0 {
+		return nil, fmt.Errorf("gen: queries need positive PerLength and K")
+	}
+	for _, l := range cfg.Lengths {
+		if l <= 0 || l > cfg.NumTopics {
+			return nil, fmt.Errorf("gen: query length %d invalid for %d topics", l, cfg.NumTopics)
+		}
+	}
+	src := rng.New(cfg.Seed)
+	alias, err := rng.NewAlias(TopicPopularity(cfg.NumTopics, cfg.ZipfExponent))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]topic.Query, len(cfg.Lengths))
+	for _, l := range cfg.Lengths {
+		qs := make([]topic.Query, 0, cfg.PerLength)
+		for i := 0; i < cfg.PerLength; i++ {
+			seen := map[int]bool{}
+			topics := make([]int, 0, l)
+			for len(topics) < l {
+				w := alias.Sample(src)
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				topics = append(topics, w)
+			}
+			qs = append(qs, topic.Query{Topics: topics, K: cfg.K})
+		}
+		out[l] = qs
+	}
+	return out, nil
+}

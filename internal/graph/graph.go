@@ -1,0 +1,224 @@
+// Package graph provides the directed social-network substrate for KB-TIM:
+// a compressed-sparse-row (CSR) representation with both out-adjacency (for
+// forward influence propagation) and in-adjacency (for reverse-reachable set
+// sampling), plus degree statistics and serialization.
+//
+// Vertices are dense uint32 IDs in [0, N). Under the paper's default
+// independent-cascade weighting, edge (u,v) carries probability
+// p(u,v) = 1/N_v where N_v is the in-degree of v (§2.1); the graph therefore
+// does not store per-edge probabilities for that model, only the structure.
+// Models needing per-edge weights (LT) derive them deterministically from
+// the structure (see internal/prop).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Edge is a directed edge from From to To ("From influences To").
+type Edge struct {
+	From, To uint32
+}
+
+// Graph is an immutable directed graph in CSR form.
+type Graph struct {
+	n int
+	m int
+
+	// Out-adjacency: outAdj[outOff[u]:outOff[u+1]] are u's out-neighbors.
+	outOff []int64
+	outAdj []uint32
+
+	// In-adjacency: inAdj[inOff[v]:inOff[v+1]] are v's in-neighbors.
+	inOff []int64
+	inAdj []uint32
+}
+
+// Builder accumulates edges and produces a Graph. Duplicate edges are kept
+// (parallel edges are legal and strengthen influence, matching multigraph
+// traces); self-loops are dropped because a user cannot influence itself.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder creates a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the directed edge (from, to). It returns an error if either
+// endpoint is out of range. Self-loops are silently ignored.
+func (b *Builder) AddEdge(from, to uint32) error {
+	if int(from) >= b.n || int(to) >= b.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range for %d vertices", from, to, b.n)
+	}
+	if from == to {
+		return nil
+	}
+	b.edges = append(b.edges, Edge{From: from, To: to})
+	return nil
+}
+
+// Grow ensures the builder can address at least n vertices.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// NumEdges reports the number of edges recorded so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Build finalizes the CSR structure. The Builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	g := &Graph{
+		n:      b.n,
+		m:      len(b.edges),
+		outOff: make([]int64, b.n+1),
+		outAdj: make([]uint32, len(b.edges)),
+		inOff:  make([]int64, b.n+1),
+		inAdj:  make([]uint32, len(b.edges)),
+	}
+	// Counting sort into CSR, twice (out by From, in by To).
+	for _, e := range b.edges {
+		g.outOff[e.From+1]++
+		g.inOff[e.To+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.outOff[i+1] += g.outOff[i]
+		g.inOff[i+1] += g.inOff[i]
+	}
+	outCur := make([]int64, b.n)
+	inCur := make([]int64, b.n)
+	for _, e := range b.edges {
+		g.outAdj[g.outOff[e.From]+outCur[e.From]] = e.To
+		outCur[e.From]++
+		g.inAdj[g.inOff[e.To]+inCur[e.To]] = e.From
+		inCur[e.To]++
+	}
+	// Sort adjacency lists for determinism and binary-search lookups.
+	for v := 0; v < b.n; v++ {
+		out := g.outAdj[g.outOff[v]:g.outOff[v+1]]
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		in := g.inAdj[g.inOff[v]:g.inOff[v+1]]
+		sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		if err := b.AddEdge(e.From, e.To); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E| (self-loops excluded at build time).
+func (g *Graph) NumEdges() int { return g.m }
+
+// OutNeighbors returns the out-neighbors of u. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) OutNeighbors(u uint32) []uint32 {
+	return g.outAdj[g.outOff[u]:g.outOff[u+1]]
+}
+
+// InNeighbors returns the in-neighbors of v. The returned slice aliases
+// internal storage and must not be modified.
+func (g *Graph) InNeighbors(v uint32) []uint32 {
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// OutDegree returns |OutNeighbors(u)|.
+func (g *Graph) OutDegree(u uint32) int {
+	return int(g.outOff[u+1] - g.outOff[u])
+}
+
+// InDegree returns |InNeighbors(v)|. Under the IC model every edge into v
+// carries probability 1/InDegree(v).
+func (g *Graph) InDegree(v uint32) int {
+	return int(g.inOff[v+1] - g.inOff[v])
+}
+
+// ICProb returns the independent-cascade probability of any edge into v,
+// p(e) = 1/N_v (§2.1). It returns 0 for vertices with no in-edges.
+func (g *Graph) ICProb(v uint32) float64 {
+	d := g.InDegree(v)
+	if d == 0 {
+		return 0
+	}
+	return 1 / float64(d)
+}
+
+// AvgDegree returns |E| / |V| (the "AveDegree" row of Table 2).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(g.m) / float64(g.n)
+}
+
+// HasEdge reports whether the edge (u,v) exists, by binary search on the
+// sorted out-adjacency of u.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	adj := g.OutNeighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// Edges returns a fresh slice of all edges in (From, To) order sorted by
+// From then To. Intended for tests and serialization, not hot paths.
+func (g *Graph) Edges() []Edge {
+	edges := make([]Edge, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.OutNeighbors(uint32(u)) {
+			edges = append(edges, Edge{From: uint32(u), To: v})
+		}
+	}
+	return edges
+}
+
+// Validate checks internal CSR invariants. It is used by tests and by the
+// binary loader to reject corrupt files.
+func (g *Graph) Validate() error {
+	if g.n < 0 || g.m < 0 {
+		return errors.New("graph: negative sizes")
+	}
+	if len(g.outOff) != g.n+1 || len(g.inOff) != g.n+1 {
+		return errors.New("graph: offset array length mismatch")
+	}
+	if g.outOff[0] != 0 || g.inOff[0] != 0 {
+		return errors.New("graph: offsets must start at 0")
+	}
+	if g.outOff[g.n] != int64(g.m) || g.inOff[g.n] != int64(g.m) {
+		return errors.New("graph: offsets must end at |E|")
+	}
+	for i := 0; i < g.n; i++ {
+		if g.outOff[i] > g.outOff[i+1] || g.inOff[i] > g.inOff[i+1] {
+			return errors.New("graph: non-monotone offsets")
+		}
+	}
+	for _, v := range g.outAdj {
+		if int(v) >= g.n {
+			return errors.New("graph: out-adjacency vertex out of range")
+		}
+	}
+	for _, v := range g.inAdj {
+		if int(v) >= g.n {
+			return errors.New("graph: in-adjacency vertex out of range")
+		}
+	}
+	return nil
+}

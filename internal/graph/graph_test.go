@@ -1,0 +1,236 @@
+package graph
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kbtim/internal/rng"
+)
+
+// figure1 reconstructs the running-example graph of the paper (Figure 1):
+// vertices a..g = 0..6, edges e→a (1.0), e→b, g→b, e→c, b→c, b→d, f→d.
+// (The IC probabilities are handled by internal/prop; here we only need the
+// structure: in-degrees give a=1, b=2, c=2, d=2, e=0, f=0, g=0.)
+func figure1(t testing.TB) *Graph {
+	t.Helper()
+	const (
+		a, b, c, d, e, f, g = 0, 1, 2, 3, 4, 5, 6
+	)
+	gr, err := FromEdges(7, []Edge{
+		{e, a}, {e, b}, {g, b}, {e, c}, {b, c}, {b, d}, {f, d},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gr
+}
+
+func TestFigure1Structure(t *testing.T) {
+	g := figure1(t)
+	if g.NumVertices() != 7 || g.NumEdges() != 7 {
+		t.Fatalf("got %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	wantIn := []int{1, 2, 2, 2, 0, 0, 0} // a,b,c,d,e,f,g
+	for v, want := range wantIn {
+		if got := g.InDegree(uint32(v)); got != want {
+			t.Errorf("InDegree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if got := g.OutDegree(4); got != 3 { // e → a,b,c
+		t.Errorf("OutDegree(e) = %d, want 3", got)
+	}
+	if !g.HasEdge(4, 0) || g.HasEdge(0, 4) {
+		t.Error("HasEdge direction wrong")
+	}
+	if p := g.ICProb(1); p != 0.5 { // b has in-degree 2
+		t.Errorf("ICProb(b) = %v, want 0.5", p)
+	}
+	if p := g.ICProb(4); p != 0 { // e has no in-edges
+		t.Errorf("ICProb(e) = %v, want 0", p)
+	}
+}
+
+func TestSelfLoopsDropped(t *testing.T) {
+	g, err := FromEdges(3, []Edge{{0, 0}, {0, 1}, {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("self loops kept: %d edges", g.NumEdges())
+	}
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("parallel edges collapsed: %d edges", g.NumEdges())
+	}
+	if g.InDegree(1) != 2 {
+		t.Fatalf("InDegree = %d, want 2", g.InDegree(1))
+	}
+}
+
+func TestOutOfRangeEdgeRejected(t *testing.T) {
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 2); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestInOutConsistency(t *testing.T) {
+	// Property: the multiset of edges seen through out-adjacency equals the
+	// multiset seen through in-adjacency, on random graphs.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.Intn(50) + 2
+		m := src.Intn(200)
+		b := NewBuilder(n)
+		for i := 0; i < m; i++ {
+			_ = b.AddEdge(uint32(src.Intn(n)), uint32(src.Intn(n)))
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		type key struct{ u, v uint32 }
+		out := map[key]int{}
+		for u := 0; u < n; u++ {
+			for _, v := range g.OutNeighbors(uint32(u)) {
+				out[key{uint32(u), v}]++
+			}
+		}
+		in := map[key]int{}
+		for v := 0; v < n; v++ {
+			for _, u := range g.InNeighbors(uint32(v)) {
+				in[key{u, uint32(v)}]++
+			}
+		}
+		return reflect.DeepEqual(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreeSumsEqualEdges(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.Intn(40) + 1
+		b := NewBuilder(n)
+		for i := 0; i < src.Intn(150); i++ {
+			_ = b.AddEdge(uint32(src.Intn(n)), uint32(src.Intn(n)))
+		}
+		g := b.Build()
+		sumIn, sumOut := 0, 0
+		for v := 0; v < n; v++ {
+			sumIn += g.InDegree(uint32(v))
+			sumOut += g.OutDegree(uint32(v))
+		}
+		return sumIn == g.NumEdges() && sumOut == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := figure1(t)
+	g2, err := FromEdges(g.NumVertices(), g.Edges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("Edges() round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           {},
+		"bad magic":       append([]byte("XXXX"), data[4:]...),
+		"truncated":       data[:len(data)-3],
+		"header only":     data[:24],
+		"short of header": data[:10],
+	}
+	for name, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+		t.Fatal("edge list round trip mismatch")
+	}
+	if g2.NumVertices() != g.NumVertices() {
+		t.Fatalf("vertex count %d, want %d", g2.NumVertices(), g.NumVertices())
+	}
+}
+
+func TestEdgeListParsing(t *testing.T) {
+	in := "# comment\n# Nodes: 10 Edges: 2\n0 1\n3\t4\n\n"
+	g, err := ReadEdgeList(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 10 {
+		t.Fatalf("Nodes hint ignored: %d", g.NumVertices())
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 1) || !g.HasEdge(3, 4) {
+		t.Fatal("edges not parsed")
+	}
+	if _, err := ReadEdgeList(bytes.NewReader([]byte("0\n"))); err == nil {
+		t.Fatal("single-field line accepted")
+	}
+	if _, err := ReadEdgeList(bytes.NewReader([]byte("a b\n"))); err == nil {
+		t.Fatal("non-numeric line accepted")
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	g := figure1(t)
+	if got := g.AvgDegree(); got != 1 {
+		t.Fatalf("AvgDegree = %v, want 1", got)
+	}
+	empty := NewBuilder(0).Build()
+	if empty.AvgDegree() != 0 {
+		t.Fatal("empty graph AvgDegree not 0")
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// DegreeHistogram is the frequency distribution of a degree sequence:
+// Counts[d] = number of vertices whose degree is exactly Degrees[i].
+// It backs Figure 4 of the paper (in-degree distributions of both datasets,
+// plotted log-log).
+type DegreeHistogram struct {
+	Degrees []int // distinct degrees, ascending
+	Counts  []int // Counts[i] vertices have degree Degrees[i]
+}
+
+// InDegreeHistogram computes the in-degree frequency distribution.
+func InDegreeHistogram(g *Graph) DegreeHistogram {
+	return histogram(g, g.InDegree)
+}
+
+// OutDegreeHistogram computes the out-degree frequency distribution.
+func OutDegreeHistogram(g *Graph) DegreeHistogram {
+	return histogram(g, g.OutDegree)
+}
+
+func histogram(g *Graph, deg func(uint32) int) DegreeHistogram {
+	freq := map[int]int{}
+	for v := 0; v < g.NumVertices(); v++ {
+		freq[deg(uint32(v))]++
+	}
+	degrees := make([]int, 0, len(freq))
+	for d := range freq {
+		degrees = append(degrees, d)
+	}
+	sort.Ints(degrees)
+	counts := make([]int, len(degrees))
+	for i, d := range degrees {
+		counts[i] = freq[d]
+	}
+	return DegreeHistogram{Degrees: degrees, Counts: counts}
+}
+
+// MaxDegree returns the largest degree in the histogram (0 when empty).
+func (h DegreeHistogram) MaxDegree() int {
+	if len(h.Degrees) == 0 {
+		return 0
+	}
+	return h.Degrees[len(h.Degrees)-1]
+}
+
+// NumVertices returns the total vertex count covered by the histogram.
+func (h DegreeHistogram) NumVertices() int {
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	return total
+}
+
+// Buckets groups the histogram into logarithmic (power-of-base) buckets,
+// matching how Figure 4 is read off a log-log plot. Bucket i covers degrees
+// [base^i, base^(i+1)).
+func (h DegreeHistogram) Buckets(base int) []int {
+	if base < 2 {
+		base = 2
+	}
+	var buckets []int
+	for i, d := range h.Degrees {
+		if d == 0 {
+			continue
+		}
+		b := 0
+		for x := d; x >= base; x /= base {
+			b++
+		}
+		for len(buckets) <= b {
+			buckets = append(buckets, 0)
+		}
+		buckets[b] += h.Counts[i]
+	}
+	return buckets
+}
+
+// WriteTo renders the histogram as "degree<TAB>count" lines, the exact series
+// behind the Figure 4 scatter plots.
+func (h DegreeHistogram) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for i := range h.Degrees {
+		n, err := fmt.Fprintf(w, "%d\t%d\n", h.Degrees[i], h.Counts[i])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// PowerLawSlope estimates the exponent alpha of a power-law fit
+// count(d) ∝ d^(-alpha) by least squares in log-log space, ignoring
+// degree-0 vertices. It is a diagnostic for the twitter-like generator
+// (heavy-tailed) versus the news-like generator (not heavy-tailed), and is
+// exercised by tests, not by query processing.
+func (h DegreeHistogram) PowerLawSlope() float64 {
+	var xs, ys []float64
+	for i, d := range h.Degrees {
+		if d == 0 || h.Counts[i] == 0 {
+			continue
+		}
+		xs = append(xs, math.Log(float64(d)))
+		ys = append(ys, math.Log(float64(h.Counts[i])))
+	}
+	if len(xs) < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	n := float64(len(xs))
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	slope := (n*sxy - sx*sy) / denom
+	return -slope
+}

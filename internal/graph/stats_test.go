@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestInDegreeHistogram(t *testing.T) {
+	g := figure1(t)
+	h := InDegreeHistogram(g)
+	// In-degrees: a=1, b=2, c=2, d=2, e=0, f=0, g=0 → {0:3, 1:1, 2:3}.
+	wantDeg := []int{0, 1, 2}
+	wantCnt := []int{3, 1, 3}
+	if len(h.Degrees) != len(wantDeg) {
+		t.Fatalf("got %v/%v", h.Degrees, h.Counts)
+	}
+	for i := range wantDeg {
+		if h.Degrees[i] != wantDeg[i] || h.Counts[i] != wantCnt[i] {
+			t.Fatalf("histogram %v/%v, want %v/%v", h.Degrees, h.Counts, wantDeg, wantCnt)
+		}
+	}
+	if h.NumVertices() != 7 {
+		t.Fatalf("NumVertices = %d", h.NumVertices())
+	}
+	if h.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %d", h.MaxDegree())
+	}
+}
+
+func TestOutDegreeHistogram(t *testing.T) {
+	g := figure1(t)
+	h := OutDegreeHistogram(g)
+	// Out-degrees: a=0, b=2, c=0, d=0, e=3, f=1, g=1 → {0:3, 1:2, 2:1, 3:1}.
+	if h.MaxDegree() != 3 {
+		t.Fatalf("MaxDegree = %d, want 3", h.MaxDegree())
+	}
+	if h.NumVertices() != 7 {
+		t.Fatalf("NumVertices = %d", h.NumVertices())
+	}
+}
+
+func TestHistogramWriteTo(t *testing.T) {
+	g := figure1(t)
+	var buf bytes.Buffer
+	if _, err := InDegreeHistogram(g).WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "0\t3" {
+		t.Fatalf("first line %q", lines[0])
+	}
+}
+
+func TestBuckets(t *testing.T) {
+	h := DegreeHistogram{Degrees: []int{0, 1, 2, 3, 4, 9, 100}, Counts: []int{5, 1, 1, 1, 1, 1, 1}}
+	b := h.Buckets(10)
+	// degrees 1..9 in bucket 0, 100 in bucket 2; degree 0 skipped.
+	if len(b) != 3 || b[0] != 5 || b[1] != 0 || b[2] != 1 {
+		t.Fatalf("buckets = %v", b)
+	}
+}
+
+func TestPowerLawSlopeOnSyntheticPowerLaw(t *testing.T) {
+	// count(d) = 10000 * d^-2 exactly: slope estimate should be close to 2.
+	var degrees, counts []int
+	for d := 1; d <= 100; d++ {
+		c := int(10000 / float64(d*d))
+		if c == 0 {
+			continue
+		}
+		degrees = append(degrees, d)
+		counts = append(counts, c)
+	}
+	h := DegreeHistogram{Degrees: degrees, Counts: counts}
+	slope := h.PowerLawSlope()
+	if slope < 1.7 || slope > 2.3 {
+		t.Fatalf("slope = %v, want ≈2", slope)
+	}
+}
+
+func TestPowerLawSlopeDegenerate(t *testing.T) {
+	if s := (DegreeHistogram{}).PowerLawSlope(); s != 0 {
+		t.Fatalf("empty slope = %v", s)
+	}
+	h := DegreeHistogram{Degrees: []int{5}, Counts: []int{3}}
+	if s := h.PowerLawSlope(); s != 0 {
+		t.Fatalf("single-point slope = %v", s)
+	}
+}

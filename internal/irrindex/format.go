@@ -1,0 +1,202 @@
+// Package irrindex implements the Incremental RR index of §5: per keyword,
+// the inverted lists are sorted by length (most-covered users first) and cut
+// into fixed-size partitions; each partition block also carries the RR sets
+// first "claimed" by that partition (IR), and a first-occurrence table (IP)
+// resolves whether an unseen user can still contribute (Algorithm 3). Query
+// processing is an NRA-style top-k aggregation with lazy upper-bound
+// refinement (Algorithm 4), loading partitions only until the next seed is
+// provably the best remaining candidate — the source of the "load far fewer
+// RR sets" effect of Figures 5–7 (at the price of random I/O, Table 6).
+//
+// On-disk layout (single file, little-endian):
+//
+//	header:
+//	  magic "KBII" | version u32 | preludeLen u64 | compression u8 |
+//	  sizing u8 | modelNameLen u8 | modelName | numVertices u64 |
+//	  numTopics u32 | K u32 | epsilon f64 | partitionSize u32 |
+//	  numKeywords u32
+//	directory, one entry per keyword:
+//	  topicID u32 | thetaW u64 | tfSum f64 | phi f64 |
+//	  ipOff u64 | ipLen u64 | numIPEntries u32 | numPartitions u32 |
+//	  per partition: off u64 | len u64 | numUsers u32 | numSets u32 |
+//	                 lastListLen u32
+//	payload:
+//	  per keyword: IP region (numIPEntries × [vertex uvarint, firstOcc
+//	  uvarint]), then partition blocks. A partition block is
+//	  IL part: numUsers × [vertex uvarint, encoded RR-ID list] followed by
+//	  IR part: numSets × [rrID uvarint, encoded member list].
+//
+// lastListLen is the length of the partition's shortest (last) inverted
+// list: after loading partition p the NRA bound kb[w] for unseen users is
+// exactly that value (lists are globally sorted by descending length).
+package irrindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"kbtim/internal/binfmt"
+	"kbtim/internal/codec"
+	"kbtim/internal/wris"
+)
+
+const (
+	indexMagic   = "KBII"
+	indexVersion = 1
+)
+
+// ErrBadFormat reports a malformed or corrupt index file.
+var ErrBadFormat = errors.New("irrindex: bad index format")
+
+// Header is the index-wide metadata.
+type Header struct {
+	Compression   codec.Compression
+	Sizing        wris.SizingMode
+	ModelName     string
+	NumVertices   int
+	NumTopics     int
+	K             int
+	Epsilon       float64
+	PartitionSize int // δ of Algorithm 3
+}
+
+// Partition locates one partition block.
+type Partition struct {
+	Off         int64
+	Len         int64
+	NumUsers    int
+	NumSets     int
+	LastListLen int // length of the shortest inverted list in the block
+}
+
+// KeywordDir is one keyword's directory entry.
+type KeywordDir struct {
+	TopicID      int
+	ThetaW       int64
+	TFSum        float64
+	Phi          float64
+	IPOff        int64
+	IPLen        int64
+	NumIPEntries int
+	Partitions   []Partition
+}
+
+func appendHeader(buf []byte, h *Header, numKeywords int) ([]byte, error) {
+	if len(h.ModelName) == 0 || len(h.ModelName) > 255 {
+		return nil, fmt.Errorf("irrindex: invalid model name %q", h.ModelName)
+	}
+	if !h.Compression.Valid() {
+		return nil, fmt.Errorf("irrindex: invalid compression %d", h.Compression)
+	}
+	if h.PartitionSize <= 0 {
+		return nil, fmt.Errorf("irrindex: invalid partition size %d", h.PartitionSize)
+	}
+	buf = append(buf, indexMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, indexVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // preludeLen, patched later
+	buf = append(buf, byte(h.Compression), byte(h.Sizing), byte(len(h.ModelName)))
+	buf = append(buf, h.ModelName...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.NumVertices))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.NumTopics))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.K))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(h.Epsilon))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.PartitionSize))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(numKeywords))
+	return buf, nil
+}
+
+func parseHeader(r *binfmt.Reader) (Header, int, error) {
+	var h Header
+	magic := r.Bytes(4)
+	if err := r.Err(); err != nil {
+		return h, 0, err
+	}
+	if string(magic) != indexMagic {
+		return h, 0, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	if v := r.U32(); r.Err() == nil && v != indexVersion {
+		return h, 0, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	r.U64() // preludeLen, consumed by Open
+	h.Compression = codec.Compression(r.U8())
+	h.Sizing = wris.SizingMode(r.U8())
+	nameLen := int(r.U8())
+	name := r.Bytes(nameLen)
+	if r.Err() == nil {
+		h.ModelName = string(name)
+	}
+	h.NumVertices = int(r.U64())
+	h.NumTopics = int(r.U32())
+	h.K = int(r.U32())
+	h.Epsilon = r.F64()
+	h.PartitionSize = int(r.U32())
+	numKeywords := int(r.U32())
+	if err := r.Err(); err != nil {
+		return h, 0, err
+	}
+	if !h.Compression.Valid() {
+		return h, 0, fmt.Errorf("%w: unknown compression %d", ErrBadFormat, h.Compression)
+	}
+	if h.NumVertices < 0 || h.NumTopics <= 0 || h.PartitionSize <= 0 ||
+		numKeywords < 0 || numKeywords > h.NumTopics {
+		return h, 0, fmt.Errorf("%w: implausible header", ErrBadFormat)
+	}
+	return h, numKeywords, nil
+}
+
+func appendKeywordDir(buf []byte, d *KeywordDir) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.TopicID))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.ThetaW))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.TFSum))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(d.Phi))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.IPOff))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.IPLen))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(d.NumIPEntries))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.Partitions)))
+	for _, p := range d.Partitions {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Off))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Len))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.NumUsers))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.NumSets))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(p.LastListLen))
+	}
+	return buf
+}
+
+func parseKeywordDir(r *binfmt.Reader, h *Header) (KeywordDir, error) {
+	var d KeywordDir
+	d.TopicID = int(r.U32())
+	d.ThetaW = int64(r.U64())
+	d.TFSum = r.F64()
+	d.Phi = r.F64()
+	d.IPOff = int64(r.U64())
+	d.IPLen = int64(r.U64())
+	d.NumIPEntries = int(r.U32())
+	numParts := int(r.U32())
+	if err := r.Err(); err != nil {
+		return d, err
+	}
+	if numParts < 0 || numParts > 1<<28 {
+		return d, fmt.Errorf("%w: implausible partition count %d", ErrBadFormat, numParts)
+	}
+	d.Partitions = make([]Partition, numParts)
+	for i := range d.Partitions {
+		d.Partitions[i] = Partition{
+			Off:         int64(r.U64()),
+			Len:         int64(r.U64()),
+			NumUsers:    int(r.U32()),
+			NumSets:     int(r.U32()),
+			LastListLen: int(r.U32()),
+		}
+	}
+	if err := r.Err(); err != nil {
+		return d, err
+	}
+	if d.TopicID < 0 || d.TopicID >= h.NumTopics || d.ThetaW <= 0 ||
+		d.NumIPEntries < 0 || d.NumIPEntries > h.NumVertices {
+		return d, fmt.Errorf("%w: implausible directory for topic %d", ErrBadFormat, d.TopicID)
+	}
+	return d, nil
+}

@@ -1,0 +1,453 @@
+package irrindex
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"kbtim/internal/binfmt"
+	"kbtim/internal/diskio"
+	"kbtim/internal/topic"
+	"kbtim/internal/wris"
+)
+
+// Index is an opened IRR index ready for incremental query processing.
+type Index struct {
+	hdr  Header
+	dirs map[int]*KeywordDir
+	r    diskio.Segmented
+}
+
+// Open parses the header and directory of an IRR index accessible via r.
+func Open(r diskio.Segmented) (*Index, error) {
+	head, err := r.ReadSegment(0, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head[:4]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	preludeLen := int64(binary.LittleEndian.Uint64(head[8:16]))
+	if preludeLen < 16 || preludeLen > r.Size() {
+		return nil, fmt.Errorf("%w: implausible prelude length %d", ErrBadFormat, preludeLen)
+	}
+	prelude, err := r.ReadSegment(0, preludeLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	br := binfmt.NewReader(prelude)
+	hdr, numKeywords, err := parseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r}
+	for i := 0; i < numKeywords; i++ {
+		d, err := parseKeywordDir(br, &hdr)
+		if err != nil {
+			return nil, err
+		}
+		if d.IPOff < preludeLen || d.IPOff+d.IPLen > r.Size() {
+			return nil, fmt.Errorf("%w: IP region for topic %d out of file", ErrBadFormat, d.TopicID)
+		}
+		for _, p := range d.Partitions {
+			if p.Off < preludeLen || p.Off+p.Len > r.Size() {
+				return nil, fmt.Errorf("%w: partition out of file for topic %d", ErrBadFormat, d.TopicID)
+			}
+		}
+		dd := d
+		idx.dirs[d.TopicID] = &dd
+	}
+	return idx, nil
+}
+
+// Header returns the index-wide metadata.
+func (idx *Index) Header() Header { return idx.hdr }
+
+// Keywords returns the indexed topic IDs (unordered).
+func (idx *Index) Keywords() []int {
+	out := make([]int, 0, len(idx.dirs))
+	for t := range idx.dirs {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Dir exposes one keyword's directory entry (nil if not indexed).
+func (idx *Index) Dir(topicID int) *KeywordDir { return idx.dirs[topicID] }
+
+// Plan computes the per-keyword RR-set allocation θ^Q_w = θ^Q·p_w, exactly
+// as the RR index does (line 1 of Algorithm 4 = line 1 of Algorithm 2).
+func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
+	if err := q.Validate(idx.hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	if q.K > idx.hdr.K {
+		return nil, fmt.Errorf("irrindex: Q.k=%d exceeds index cap K=%d", q.K, idx.hdr.K)
+	}
+	var phiQ float64
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		if d == nil {
+			return nil, fmt.Errorf("irrindex: keyword %d not indexed", w)
+		}
+		phiQ += d.Phi
+	}
+	if phiQ <= 0 {
+		return nil, fmt.Errorf("irrindex: query %v has zero mass", q.Topics)
+	}
+	thetaQ := math.Inf(1)
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		pw := d.Phi / phiQ
+		if pw <= 0 {
+			continue
+		}
+		if v := float64(d.ThetaW) / pw; v < thetaQ {
+			thetaQ = v
+		}
+	}
+	alloc := make(map[int]int, len(q.Topics))
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		t := int64(thetaQ*(d.Phi/phiQ) + 1e-9)
+		if t < 1 {
+			t = 1
+		}
+		if t > d.ThetaW {
+			t = d.ThetaW
+		}
+		alloc[w] = int(t)
+	}
+	return alloc, nil
+}
+
+// QueryResult is a wris.Result plus IRR-specific access metrics.
+type QueryResult struct {
+	wris.Result
+	// Marginals[i] is the number of newly covered RR sets when Seeds[i]
+	// was selected; Theorem 3 says these match Algorithm 2's exactly.
+	Marginals []int
+	// IO is the logical disk activity (IP reads + partition fetches).
+	IO diskio.Stats
+	// Loaded maps keywords to the number of RR sets (IDs < θ^Q_w) seen in
+	// fetched partitions — the Figures 5–7 series for IRR.
+	Loaded map[int]int
+	// PartitionsLoaded counts partition blocks fetched (Table 6's I/O
+	// driver).
+	PartitionsLoaded int
+}
+
+// kwState is the per-keyword in-memory state of one NRA run.
+type kwState struct {
+	topicID  int
+	dir      *KeywordDir
+	thetaQw  int
+	ip       map[uint32]int32 // first occurrence per listed user
+	next     int              // next partition to fetch
+	kb       int              // upper bound for users not yet seen in IL_w
+	covered  []bool           // covered[rrID] for rrID < thetaQw
+	lists    map[uint32][]int32
+	loaded   int // RR sets (IDs < thetaQw) seen in fetched partitions
+	fetched  int // partition blocks fetched
+	maxParts int
+}
+
+// candidate is a priority-queue entry; stale bounds are corrected on pop.
+type candidate struct {
+	user uint32
+	ub   int
+}
+
+type candHeap []candidate
+
+func (h candHeap) Len() int { return len(h) }
+func (h candHeap) Less(i, j int) bool {
+	if h[i].ub != h[j].ub {
+		return h[i].ub > h[j].ub
+	}
+	return h[i].user < h[j].user
+}
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Query answers a KB-TIM query with Algorithm 4: incremental NRA top-k
+// aggregation over the partitioned, length-sorted inverted lists, with lazy
+// upper-bound refinement, terminating each round as soon as the heap top is
+// COMPLETE and beats every unseen candidate (Σ_w kb[w]).
+func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
+	start := time.Now()
+	before := idx.r.Counter().Stats()
+	alloc, err := idx.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+
+	states := make([]*kwState, 0, len(q.Topics))
+	var phiQ float64
+	h := &candHeap{}
+	pushed := make(map[uint32]bool)
+	var pending []uint32 // users discovered by the latest partition fetches
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		phiQ += d.Phi
+		st := &kwState{
+			topicID:  w,
+			dir:      d,
+			thetaQw:  alloc[w],
+			next:     0,
+			kb:       math.MaxInt32,
+			covered:  make([]bool, alloc[w]),
+			lists:    make(map[uint32][]int32),
+			maxParts: len(d.Partitions),
+		}
+		if err := idx.loadIP(st); err != nil {
+			return nil, fmt.Errorf("irrindex: keyword %d IP: %w", w, err)
+		}
+		states = append(states, st)
+	}
+
+	// Prime with the first partition of every keyword.
+	for _, st := range states {
+		users, err := idx.loadNextPartition(st, pushed)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, users...)
+	}
+
+	sumKB := func() int {
+		total := 0
+		for _, st := range states {
+			total += st.kb
+		}
+		return total
+	}
+	// ubOf returns the upper-bound score of u and whether it is COMPLETE
+	// (all partial scores exact).
+	ubOf := func(u uint32) (int, bool) {
+		total, complete := 0, true
+		for _, st := range states {
+			if list, ok := st.lists[u]; ok {
+				for _, id := range list {
+					if !st.covered[id] {
+						total++
+					}
+				}
+				continue
+			}
+			fo, listed := st.ip[u]
+			if !listed || int(fo) >= st.thetaQw {
+				continue // exact partial score 0 (line "IP_w[v] ≥ θ^Q_w")
+			}
+			total += st.kb
+			complete = false
+		}
+		return total, complete
+	}
+
+	// flushPending pushes newly discovered users with their CURRENT upper
+	// bound. At push time ubOf(u) is a valid upper bound, and both exact
+	// partial scores and kb only shrink afterwards, so heap entries always
+	// overestimate — the invariant lazy refinement relies on.
+	flushPending := func() {
+		for _, u := range pending {
+			ub, _ := ubOf(u)
+			heap.Push(h, candidate{user: u, ub: ub})
+		}
+		pending = pending[:0]
+	}
+	flushPending()
+
+	res := &QueryResult{Loaded: make(map[int]int, len(states))}
+	picked := make(map[uint32]bool, q.K)
+	for len(res.Seeds) < q.K {
+		if h.Len() == 0 {
+			// No positive candidates remain; pad like the plain greedy
+			// does, with the smallest unpicked vertices at score 0.
+			for v := 0; len(res.Seeds) < q.K && v < idx.hdr.NumVertices; v++ {
+				if !picked[uint32(v)] {
+					picked[uint32(v)] = true
+					res.Seeds = append(res.Seeds, uint32(v))
+					res.Marginals = append(res.Marginals, 0)
+				}
+			}
+			break
+		}
+		top := (*h)[0]
+		if picked[top.user] {
+			heap.Pop(h)
+			continue
+		}
+		ub, complete := ubOf(top.user)
+		if ub != top.ub {
+			(*h)[0].ub = ub
+			heap.Fix(h, 0)
+			continue
+		}
+		if complete && ub >= sumKB() {
+			heap.Pop(h)
+			picked[top.user] = true
+			res.Seeds = append(res.Seeds, top.user)
+			res.Marginals = append(res.Marginals, ub)
+			res.Covered += ub
+			for _, st := range states {
+				for _, id := range st.lists[top.user] {
+					st.covered[id] = true
+				}
+			}
+			continue
+		}
+		// Not decidable yet: fetch the next partition of every keyword.
+		progress := false
+		for _, st := range states {
+			if st.next < st.maxParts {
+				users, err := idx.loadNextPartition(st, pushed)
+				if err != nil {
+					return nil, err
+				}
+				pending = append(pending, users...)
+				progress = true
+			}
+		}
+		flushPending()
+		if !progress {
+			// Everything is loaded, so every candidate is COMPLETE and
+			// kb = 0; the next pop decides. Guard against a logic error
+			// that would otherwise spin forever.
+			if complete {
+				return nil, fmt.Errorf("irrindex: NRA made no progress (internal invariant violated)")
+			}
+		}
+	}
+
+	total := 0
+	for _, st := range states {
+		total += st.thetaQw
+		res.Loaded[st.topicID] = st.loaded
+		res.NumRRSets += st.loaded
+		res.PartitionsLoaded += st.fetched
+	}
+	res.EstSpread = float64(res.Covered) / float64(total) * phiQ
+	res.IO = idx.r.Counter().Stats().Sub(before)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// loadIP reads and parses a keyword's first-occurrence table.
+func (idx *Index) loadIP(st *kwState) error {
+	buf, err := idx.r.ReadSegment(st.dir.IPOff, st.dir.IPLen)
+	if err != nil {
+		return err
+	}
+	br := binfmt.NewReader(buf)
+	st.ip = make(map[uint32]int32, st.dir.NumIPEntries)
+	for i := 0; i < st.dir.NumIPEntries; i++ {
+		v := br.Uvarint()
+		fo := br.Uvarint()
+		if br.Err() != nil {
+			return br.Err()
+		}
+		if v >= uint64(idx.hdr.NumVertices) || fo >= uint64(st.dir.ThetaW) {
+			return fmt.Errorf("%w: bad IP entry (%d→%d)", ErrBadFormat, v, fo)
+		}
+		st.ip[uint32(v)] = int32(fo)
+	}
+	if br.Remaining() != 0 {
+		return fmt.Errorf("%w: IP region has trailing bytes", ErrBadFormat)
+	}
+	return nil
+}
+
+// loadNextPartition fetches one partition block (a single random I/O),
+// merges its inverted lists (trimmed to IDs < θ^Q_w), counts its RR sets,
+// lowers kb, and returns the users not seen before (the caller pushes them
+// once their cross-keyword upper bound is known).
+func (idx *Index) loadNextPartition(st *kwState, pushed map[uint32]bool) ([]uint32, error) {
+	if st.next >= st.maxParts {
+		return nil, nil
+	}
+	p := st.dir.Partitions[st.next]
+	st.next++
+	st.fetched++
+	buf, err := idx.r.ReadSegment(p.Off, p.Len)
+	if err != nil {
+		return nil, err
+	}
+	br := binfmt.NewReader(buf)
+	scratch := make([]uint32, 0, 64)
+	var newUsers []uint32
+	for i := 0; i < p.NumUsers; i++ {
+		v := br.Uvarint()
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		if v >= uint64(idx.hdr.NumVertices) {
+			return nil, fmt.Errorf("%w: partition user %d out of range", ErrBadFormat, v)
+		}
+		scratch = scratch[:0]
+		var n int
+		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[br.Pos():])
+		if err != nil {
+			return nil, err
+		}
+		br.Bytes(n)
+		trimmed := make([]int32, 0, len(scratch))
+		for _, id := range scratch {
+			if id >= uint32(st.thetaQw) {
+				break
+			}
+			trimmed = append(trimmed, int32(id))
+		}
+		st.lists[uint32(v)] = trimmed
+		if !pushed[uint32(v)] {
+			pushed[uint32(v)] = true
+			newUsers = append(newUsers, uint32(v))
+		}
+	}
+	for i := 0; i < p.NumSets; i++ {
+		id := br.Uvarint()
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		if id >= uint64(st.dir.ThetaW) {
+			return nil, fmt.Errorf("%w: partition set ID %d out of range", ErrBadFormat, id)
+		}
+		scratch = scratch[:0]
+		var n int
+		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[br.Pos():])
+		if err != nil {
+			return nil, err
+		}
+		br.Bytes(n)
+		if id < uint64(st.thetaQw) {
+			st.loaded++
+		}
+	}
+	if br.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: partition has trailing bytes", ErrBadFormat)
+	}
+
+	// kb: unseen users' lists are no longer than the shortest list just
+	// loaded; once everything is loaded no unseen user remains.
+	if st.next >= st.maxParts {
+		st.kb = 0
+	} else {
+		st.kb = p.LastListLen
+		if st.kb > st.thetaQw {
+			st.kb = st.thetaQw
+		}
+	}
+	return newUsers, nil
+}

@@ -1,0 +1,230 @@
+package prop
+
+import (
+	"fmt"
+	"math"
+
+	"kbtim/internal/graph"
+)
+
+// Exact oracles compute activation probabilities p(S→v) by enumerating all
+// possible worlds. Evaluating p(S→v) is #P-hard in general ([5] in the
+// paper), so these run only on tiny graphs (≲ 20 edges); they are the ground
+// truth every sampler and estimator in the repository is validated against,
+// including the paper's own worked numbers (Examples 1–3).
+
+// maxExactWorlds bounds enumeration size so a mistaken call cannot hang a
+// test run.
+const maxExactWorlds = 1 << 24
+
+// ExactActivationProbsIC returns p(S→v) for every vertex under the IC model
+// with p(e) = 1/N_v, by enumerating all 2^|E| live-edge worlds.
+func ExactActivationProbsIC(g *graph.Graph, seeds []uint32) ([]float64, error) {
+	m := g.NumEdges()
+	if m >= 24 {
+		return nil, fmt.Errorf("prop: exact IC oracle limited to <24 edges, got %d", m)
+	}
+	edges := g.Edges()
+	probs := make([]float64, m)
+	for i, e := range edges {
+		probs[i] = g.ICProb(e.To)
+	}
+	n := g.NumVertices()
+	result := make([]float64, n)
+	worlds := 1 << m
+	if worlds > maxExactWorlds {
+		return nil, fmt.Errorf("prop: too many worlds (%d)", worlds)
+	}
+	adj := make([][]uint32, n)
+	reach := make([]bool, n)
+	stack := make([]uint32, 0, n)
+	for mask := 0; mask < worlds; mask++ {
+		weight := 1.0
+		for i := range adj {
+			adj[i] = adj[i][:0]
+		}
+		for i, e := range edges {
+			if mask&(1<<i) != 0 {
+				weight *= probs[i]
+				adj[e.From] = append(adj[e.From], e.To)
+			} else {
+				weight *= 1 - probs[i]
+			}
+		}
+		if weight == 0 {
+			continue
+		}
+		for i := range reach {
+			reach[i] = false
+		}
+		stack = stack[:0]
+		for _, s := range seeds {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !reach[v] {
+					reach[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if reach[v] {
+				result[v] += weight
+			}
+		}
+	}
+	return result, nil
+}
+
+// ExactActivationProbsLT returns p(S→v) under the uniform LT model, by
+// enumerating every combination of per-vertex live-edge choices (each vertex
+// with in-degree d contributes a factor of d worlds).
+func ExactActivationProbsLT(g *graph.Graph, seeds []uint32) ([]float64, error) {
+	n := g.NumVertices()
+	// Vertices with in-edges, in enumeration order.
+	var vs []uint32
+	worlds := 1
+	for v := 0; v < n; v++ {
+		d := g.InDegree(uint32(v))
+		if d == 0 {
+			continue
+		}
+		if worlds > maxExactWorlds/d {
+			return nil, fmt.Errorf("prop: too many LT worlds")
+		}
+		worlds *= d
+		vs = append(vs, uint32(v))
+	}
+	result := make([]float64, n)
+	choice := make([]int, len(vs))
+	reach := make([]bool, n)
+	stack := make([]uint32, 0, n)
+	liveIn := make([]uint32, n) // chosen in-neighbor per vertex (by index in vs)
+	for w := 0; w < worlds; w++ {
+		// Decode mixed-radix world index into per-vertex choices.
+		x := w
+		weight := 1.0
+		for i, v := range vs {
+			d := g.InDegree(v)
+			choice[i] = x % d
+			x /= d
+			weight *= 1 / float64(d)
+			liveIn[v] = g.InNeighbors(v)[choice[i]]
+		}
+		for i := range reach {
+			reach[i] = false
+		}
+		stack = stack[:0]
+		for _, s := range seeds {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range g.OutNeighbors(u) {
+				if !reach[v] && liveIn[v] == u {
+					reach[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if reach[v] {
+				result[v] += weight
+			}
+		}
+	}
+	return result, nil
+}
+
+// ExactActivationProbs dispatches to the model-specific oracle.
+func ExactActivationProbs(g *graph.Graph, model Model, seeds []uint32) ([]float64, error) {
+	switch model.(type) {
+	case IC:
+		return ExactActivationProbsIC(g, seeds)
+	case LT:
+		return ExactActivationProbsLT(g, seeds)
+	default:
+		return nil, fmt.Errorf("prop: no exact oracle for model %q", model.Name())
+	}
+}
+
+// ExactSpread returns E[|I(S)|] = Σ_v p(S→v) exactly.
+func ExactSpread(g *graph.Graph, model Model, seeds []uint32) (float64, error) {
+	probs, err := ExactActivationProbs(g, model, seeds)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, p := range probs {
+		total += p
+	}
+	return total, nil
+}
+
+// ExactWeightedSpread returns E[I^Q(S)] = Σ_v p(S→v)·score(v) exactly
+// (Eqn 2 with the expectation expanded by linearity).
+func ExactWeightedSpread(g *graph.Graph, model Model, seeds []uint32, score func(v uint32) float64) (float64, error) {
+	probs, err := ExactActivationProbs(g, model, seeds)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for v, p := range probs {
+		total += p * score(uint32(v))
+	}
+	return total, nil
+}
+
+// BestSeedSetExact brute-forces the optimal size-k seed set under the exact
+// oracle maximizing Σ_v p(S→v)·score(v). Exponential in |V| choose k — only
+// for validating approximation ratios on tiny instances. score may be nil
+// for the unweighted objective.
+func BestSeedSetExact(g *graph.Graph, model Model, k int, score func(v uint32) float64) ([]uint32, float64, error) {
+	n := g.NumVertices()
+	if k <= 0 || k > n {
+		return nil, 0, fmt.Errorf("prop: invalid k=%d for %d vertices", k, n)
+	}
+	if score == nil {
+		score = func(uint32) float64 { return 1 }
+	}
+	best := math.Inf(-1)
+	var bestSet []uint32
+	cur := make([]uint32, 0, k)
+	var recurse func(start int) error
+	recurse = func(start int) error {
+		if len(cur) == k {
+			val, err := ExactWeightedSpread(g, model, cur, score)
+			if err != nil {
+				return err
+			}
+			if val > best {
+				best = val
+				bestSet = append(bestSet[:0], cur...)
+			}
+			return nil
+		}
+		for v := start; v < n; v++ {
+			cur = append(cur, uint32(v))
+			if err := recurse(v + 1); err != nil {
+				return err
+			}
+			cur = cur[:len(cur)-1]
+		}
+		return nil
+	}
+	if err := recurse(0); err != nil {
+		return nil, 0, err
+	}
+	return bestSet, best, nil
+}

@@ -1,0 +1,136 @@
+package prop
+
+import (
+	"kbtim/internal/graph"
+	"kbtim/internal/rng"
+)
+
+// Simulator runs forward influence cascades. It owns reusable scratch
+// buffers, so one Simulator per goroutine amortizes all allocation across
+// the tens of thousands of Monte-Carlo rounds behind a spread estimate.
+type Simulator struct {
+	g     *graph.Graph
+	model Model
+
+	// Per-world lazy trigger-set cache: triggerOff[v] >= 0 points into
+	// triggerBuf once T(v) has been sampled this world; epoch marks reset.
+	sampled    []int32 // epoch when T(v) was sampled
+	triggerPos []int32 // start of T(v) in triggerBuf
+	triggerLen []int32
+	triggerBuf []uint32
+
+	active    []int32 // epoch when vertex became active
+	epoch     int32
+	frontier  []uint32
+	nextFront []uint32
+}
+
+// NewSimulator creates a forward simulator for g under the given model.
+func NewSimulator(g *graph.Graph, model Model) *Simulator {
+	n := g.NumVertices()
+	s := &Simulator{
+		g:          g,
+		model:      model,
+		sampled:    make([]int32, n),
+		triggerPos: make([]int32, n),
+		triggerLen: make([]int32, n),
+		active:     make([]int32, n),
+		epoch:      0,
+	}
+	for i := range s.sampled {
+		s.sampled[i] = -1
+		s.active[i] = -1
+	}
+	return s
+}
+
+// trigger returns T(v) for the current world, sampling and caching it on
+// first touch so repeated examinations of v are consistent within a world.
+func (s *Simulator) trigger(v uint32, src *rng.Source) []uint32 {
+	if s.sampled[v] == s.epoch {
+		return s.triggerBuf[s.triggerPos[v] : s.triggerPos[v]+s.triggerLen[v]]
+	}
+	start := len(s.triggerBuf)
+	s.triggerBuf = s.model.AppendTrigger(s.triggerBuf, s.g, v, src)
+	s.sampled[v] = s.epoch
+	s.triggerPos[v] = int32(start)
+	s.triggerLen[v] = int32(len(s.triggerBuf) - start)
+	return s.triggerBuf[start:]
+}
+
+// Run simulates one cascade from seeds and calls visit for every activated
+// vertex (including the seeds themselves). It returns the number of
+// activated vertices. visit may be nil.
+func (s *Simulator) Run(seeds []uint32, src *rng.Source, visit func(v uint32)) int {
+	s.epoch++
+	s.triggerBuf = s.triggerBuf[:0]
+	s.frontier = s.frontier[:0]
+
+	count := 0
+	for _, v := range seeds {
+		if s.active[v] == s.epoch {
+			continue
+		}
+		s.active[v] = s.epoch
+		s.frontier = append(s.frontier, v)
+		count++
+		if visit != nil {
+			visit(v)
+		}
+	}
+	for len(s.frontier) > 0 {
+		s.nextFront = s.nextFront[:0]
+		for _, u := range s.frontier {
+			for _, v := range s.g.OutNeighbors(u) {
+				if s.active[v] == s.epoch {
+					continue
+				}
+				// v activates via u iff u ∈ T(v) in this world.
+				if containsVertex(s.trigger(v, src), u) {
+					s.active[v] = s.epoch
+					s.nextFront = append(s.nextFront, v)
+					count++
+					if visit != nil {
+						visit(v)
+					}
+				}
+			}
+		}
+		s.frontier, s.nextFront = s.nextFront, s.frontier
+	}
+	return count
+}
+
+func containsVertex(set []uint32, u uint32) bool {
+	for _, x := range set {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+// EstimateSpread returns the Monte-Carlo estimate of E[|I(S)|] over the
+// given number of rounds (the classic IM objective, Definition 1).
+func EstimateSpread(g *graph.Graph, model Model, seeds []uint32, rounds int, src *rng.Source) float64 {
+	sim := NewSimulator(g, model)
+	var total float64
+	for i := 0; i < rounds; i++ {
+		total += float64(sim.Run(seeds, src, nil))
+	}
+	return total / float64(rounds)
+}
+
+// EstimateWeightedSpread returns the Monte-Carlo estimate of
+// E[I^Q(S)] = E[Σ_{v∈I(S)} score(v)] (Eqn 2), the KB-TIM objective, where
+// score is typically φ(·,Q).
+func EstimateWeightedSpread(g *graph.Graph, model Model, seeds []uint32, score func(v uint32) float64, rounds int, src *rng.Source) float64 {
+	sim := NewSimulator(g, model)
+	var total float64
+	for i := 0; i < rounds; i++ {
+		var worldScore float64
+		sim.Run(seeds, src, func(v uint32) { worldScore += score(v) })
+		total += worldScore
+	}
+	return total / float64(rounds)
+}

@@ -1,0 +1,132 @@
+// Package rng provides the deterministic random-number machinery used by
+// every sampler in the repository: a splittable 64-bit generator
+// (xoshiro256** seeded through splitmix64) and Vose's alias method for O(1)
+// weighted sampling.
+//
+// All experiments in the paper depend on sampling enormous numbers of
+// reverse-reachable sets; determinism (seed in, identical index out) is what
+// makes the index formats testable byte-for-byte and the benchmarks
+// repeatable, so math/rand is deliberately not used.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random generator. The zero value is not
+// usable; construct with New. It intentionally mirrors the subset of
+// math/rand's API the samplers need, but is splittable and allocation-free.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, so that nearby seeds
+// produce unrelated streams.
+func New(seed uint64) *Source {
+	var s Source
+	s.Seed(seed)
+	return &s
+}
+
+// Seed resets the generator state from seed.
+func (s *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	s.s0, s.s1, s.s2, s.s3 = next(), next(), next(), next()
+	// xoshiro must not start in the all-zero state.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 0x9E3779B97F4A7C15
+	}
+}
+
+// Split derives an independent child generator from the current state.
+// The parent is advanced, so successive Splits yield distinct children.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xA5A5A5A55A5A5A5A)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = rotl(s.s3, 45)
+	return result
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (s *Source) Uint32() uint32 { return uint32(s.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's multiply-shift rejection method.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(s.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (s *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Rejection sampling to remove modulo bias.
+	if n&(n-1) == 0 { // power of two
+		return s.Uint64() & (n - 1)
+	}
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := s.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Perm returns a pseudo-random permutation of [0, n) (Fisher–Yates).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,93 @@
+package rrindex
+
+import (
+	"bytes"
+	"testing"
+
+	"kbtim/internal/codec"
+	"kbtim/internal/diskio"
+	"kbtim/internal/prop"
+	"kbtim/internal/rng"
+	"kbtim/internal/topic"
+	"kbtim/internal/wris"
+)
+
+// TestRandomCorruptionNeverPanics mirrors the IRR corruption sweep for the
+// RR index: arbitrary byte flips must produce clean errors or sane results,
+// never a crash.
+func TestRandomCorruptionNeverPanics(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{
+		Compression: codec.Delta,
+		Sizing:      wris.SizeTheta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	src := rng.New(123)
+	q := topic.Query{Topics: []int{topicMusic, topicBook}, K: 2}
+
+	for trial := 0; trial < 300; trial++ {
+		data := append([]byte(nil), pristine...)
+		flips := src.Intn(4) + 1
+		for i := 0; i < flips; i++ {
+			pos := src.Intn(len(data))
+			data[pos] ^= byte(src.Intn(255) + 1)
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d panicked: %v", trial, r)
+				}
+			}()
+			idx, err := Open(diskio.NewMem(data, nil))
+			if err != nil {
+				return
+			}
+			res, err := idx.Query(q)
+			if err != nil {
+				return
+			}
+			if len(res.Seeds) == 0 || len(res.Seeds) > 2 {
+				t.Fatalf("trial %d: corrupt index returned %d seeds", trial, len(res.Seeds))
+			}
+			for _, s := range res.Seeds {
+				if int(s) >= g.NumVertices() {
+					t.Fatalf("trial %d: seed %d out of range", trial, s)
+				}
+			}
+		}()
+	}
+}
+
+// TestTruncationSweepNeverPanics opens every prefix of a valid index.
+func TestTruncationSweepNeverPanics(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	cfg := testConfig()
+	cfg.MaxThetaPerKeyword = 200
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, cfg, BuildOptions{
+		Compression: codec.Delta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	step := len(data)/200 + 1
+	for n := 0; n < len(data); n += step {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix %d panicked: %v", n, r)
+				}
+			}()
+			idx, err := Open(diskio.NewMem(data[:n], nil))
+			if err != nil {
+				return
+			}
+			_, _ = idx.Query(topic.Query{Topics: []int{topicMusic}, K: 1})
+		}()
+	}
+}

@@ -1,0 +1,254 @@
+package rrindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"kbtim/internal/coverage"
+	"kbtim/internal/diskio"
+	"kbtim/internal/rrset"
+	"kbtim/internal/topic"
+	"kbtim/internal/wris"
+)
+
+// Index is an opened RR index ready for query processing.
+type Index struct {
+	hdr  Header
+	dirs map[int]*KeywordDir
+	r    diskio.Segmented
+}
+
+// Open parses the header and directory of an index accessible through r.
+// The payload stays on "disk" and is fetched per query.
+func Open(r diskio.Segmented) (*Index, error) {
+	head, err := r.ReadSegment(0, 16)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(head[:4]) != indexMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:8]); v != indexVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	preludeLen := int64(binary.LittleEndian.Uint64(head[8:16]))
+	if preludeLen < 16 || preludeLen > r.Size() {
+		return nil, fmt.Errorf("%w: implausible prelude length %d", ErrBadFormat, preludeLen)
+	}
+	prelude, err := r.ReadSegment(0, preludeLen)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	hr := &headerReader{buf: prelude}
+	hdr, numKeywords, err := parseHeader(hr)
+	if err != nil {
+		return nil, err
+	}
+	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r}
+	for i := 0; i < numKeywords; i++ {
+		d, err := parseKeywordDir(hr, &hdr)
+		if err != nil {
+			return nil, err
+		}
+		if d.SetsOff < preludeLen || d.SetsOff+d.SetsLen > r.Size() ||
+			d.InvOff < preludeLen || d.InvOff+d.InvLen > r.Size() {
+			return nil, fmt.Errorf("%w: payload offsets for topic %d out of file", ErrBadFormat, d.TopicID)
+		}
+		dd := d
+		idx.dirs[d.TopicID] = &dd
+	}
+	return idx, nil
+}
+
+// Header returns the index-wide metadata.
+func (idx *Index) Header() Header { return idx.hdr }
+
+// Keywords returns the indexed topic IDs (unordered).
+func (idx *Index) Keywords() []int {
+	out := make([]int, 0, len(idx.dirs))
+	for t := range idx.dirs {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Dir exposes one keyword's directory entry (nil if not indexed).
+func (idx *Index) Dir(topicID int) *KeywordDir { return idx.dirs[topicID] }
+
+// QueryResult is a wris.Result plus the disk-access profile of the query.
+type QueryResult struct {
+	wris.Result
+	// Marginals[i] is the number of newly covered RR sets when Seeds[i]
+	// was picked (the greedy trace; Theorem 3 compares these against the
+	// IRR index's).
+	Marginals []int
+	// IO is the logical disk activity the query incurred.
+	IO diskio.Stats
+	// Loaded maps each query keyword to the number of RR sets fetched
+	// (θ^Q_w, the Figure 5–7 "number of RR sets loaded" series).
+	Loaded map[int]int
+}
+
+// Plan computes θ^Q and the per-keyword allocation θ^Q_w = θ^Q·p_w of
+// Algorithm 2 lines 1–4, using the φ_w values frozen into the index.
+func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
+	if err := q.Validate(idx.hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	if q.K > idx.hdr.K {
+		return nil, fmt.Errorf("rrindex: Q.k=%d exceeds index cap K=%d", q.K, idx.hdr.K)
+	}
+	var phiQ float64
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		if d == nil {
+			return nil, fmt.Errorf("rrindex: keyword %d not indexed", w)
+		}
+		phiQ += d.Phi
+	}
+	if phiQ <= 0 {
+		return nil, fmt.Errorf("rrindex: query %v has zero mass", q.Topics)
+	}
+	thetaQ := math.Inf(1)
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		pw := d.Phi / phiQ
+		if pw <= 0 {
+			continue
+		}
+		if v := float64(d.ThetaW) / pw; v < thetaQ {
+			thetaQ = v
+		}
+	}
+	alloc := make(map[int]int, len(q.Topics))
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		pw := d.Phi / phiQ
+		t := int64(thetaQ*pw + 1e-9)
+		if t < 1 {
+			t = 1
+		}
+		if t > d.ThetaW {
+			t = d.ThetaW
+		}
+		alloc[w] = int(t)
+	}
+	return alloc, nil
+}
+
+// Query answers a KB-TIM query with Algorithm 2: load θ^Q_w RR sets and the
+// inverted file of every query keyword, then run greedy maximum coverage.
+func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
+	start := time.Now()
+	before := idx.r.Counter().Stats()
+	alloc, err := idx.Plan(q)
+	if err != nil {
+		return nil, err
+	}
+
+	var batch rrset.Batch
+	lists := make([][]int32, idx.hdr.NumVertices)
+	offset := int32(0)
+	loaded := make(map[int]int, len(alloc))
+	var phiQ float64
+	for _, w := range q.Topics {
+		d := idx.dirs[w]
+		phiQ += d.Phi
+		t := alloc[w]
+		if err := idx.loadSets(d, t, &batch); err != nil {
+			return nil, fmt.Errorf("rrindex: keyword %d sets: %w", w, err)
+		}
+		if err := idx.loadInverted(d, t, offset, lists); err != nil {
+			return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
+		}
+		offset += int32(t)
+		loaded[w] = t
+	}
+
+	inst := &coverage.Instance{
+		NumVertices: idx.hdr.NumVertices,
+		NumSets:     batch.Len(),
+		Lists:       lists,
+	}
+	res, err := coverage.Solve(inst, q.K, func(id int32) []uint32 { return batch.Set(int(id)) })
+	if err != nil {
+		return nil, err
+	}
+	total := batch.Len()
+	return &QueryResult{
+		Result: wris.Result{
+			Seeds:     res.Seeds,
+			EstSpread: float64(res.Covered) / float64(total) * phiQ,
+			Covered:   res.Covered,
+			NumRRSets: total,
+			Elapsed:   time.Since(start),
+		},
+		Marginals: res.Marginal,
+		IO:        idx.r.Counter().Stats().Sub(before),
+		Loaded:    loaded,
+	}, nil
+}
+
+// loadSets fetches the first t RR sets of keyword d in one sequential
+// segment read and appends them to batch.
+func (idx *Index) loadSets(d *KeywordDir, t int, batch *rrset.Batch) error {
+	buf, err := idx.r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
+	if err != nil {
+		return err
+	}
+	pos := 0
+	scratch := make([]uint32, 0, 64)
+	for i := 0; i < t; i++ {
+		scratch = scratch[:0]
+		var n int
+		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		for _, v := range scratch {
+			if int(v) >= idx.hdr.NumVertices {
+				return fmt.Errorf("%w: member %d out of range", ErrBadFormat, v)
+			}
+		}
+		batch.Append(scratch)
+	}
+	return nil
+}
+
+// loadInverted fetches the whole inverted region of keyword d (one
+// sequential read), keeps only RR IDs < t, applies the global ID offset,
+// and merges into lists.
+func (idx *Index) loadInverted(d *KeywordDir, t int, offset int32, lists [][]int32) error {
+	buf, err := idx.r.ReadSegment(d.InvOff, d.InvLen)
+	if err != nil {
+		return err
+	}
+	pos := 0
+	scratch := make([]uint32, 0, 64)
+	for i := 0; i < d.NumInvLists; i++ {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || v >= uint64(idx.hdr.NumVertices) {
+			return fmt.Errorf("%w: bad inverted-list vertex", ErrBadFormat)
+		}
+		pos += n
+		scratch = scratch[:0]
+		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[pos:])
+		if err != nil {
+			return err
+		}
+		pos += n
+		for _, id := range scratch {
+			if id >= uint32(t) {
+				break // IDs ascend; the rest are beyond θ^Q_w
+			}
+			lists[v] = append(lists[v], int32(id)+offset)
+		}
+	}
+	if pos != len(buf) {
+		return fmt.Errorf("%w: inverted region has %d trailing bytes", ErrBadFormat, len(buf)-pos)
+	}
+	return nil
+}

@@ -1,0 +1,385 @@
+package rrindex
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kbtim/internal/codec"
+	"kbtim/internal/diskio"
+	"kbtim/internal/gen"
+	"kbtim/internal/graph"
+	"kbtim/internal/prop"
+	"kbtim/internal/topic"
+	"kbtim/internal/wris"
+)
+
+const (
+	vA, vB, vC, vD, vE, vF, vG = 0, 1, 2, 3, 4, 5, 6
+	topicMusic                 = 0
+	topicBook                  = 1
+	topicSport                 = 2
+	topicCar                   = 3
+)
+
+func figure1(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(7, []graph.Edge{
+		{From: vE, To: vA}, {From: vE, To: vB}, {From: vG, To: vB},
+		{From: vE, To: vC}, {From: vB, To: vC},
+		{From: vB, To: vD}, {From: vF, To: vD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func figure1Profiles(t testing.TB) *topic.Profiles {
+	t.Helper()
+	b := topic.NewBuilder(7, 4)
+	set := func(u uint32, w int, tf float64) {
+		if err := b.Set(u, w, tf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(vA, topicMusic, 0.6)
+	set(vA, topicBook, 0.2)
+	set(vA, topicSport, 0.1)
+	set(vA, topicCar, 0.1)
+	set(vB, topicMusic, 0.5)
+	set(vB, topicBook, 0.5)
+	set(vC, topicMusic, 0.5)
+	set(vC, topicBook, 0.3)
+	set(vC, topicCar, 0.2)
+	set(vD, topicSport, 0.2)
+	set(vD, topicBook, 0.2)
+	set(vE, topicMusic, 0.3)
+	set(vE, topicBook, 0.3)
+	set(vE, topicSport, 0.4)
+	set(vF, topicCar, 1.0)
+	set(vG, topicBook, 1.0)
+	return b.Build()
+}
+
+func testConfig() wris.Config {
+	return wris.Config{
+		Epsilon:            0.3,
+		K:                  5,
+		PilotSets:          800,
+		MaxThetaPerKeyword: 20000,
+		Seed:               17,
+		Workers:            2,
+	}
+}
+
+// buildFigure1 builds an in-memory index over the running example.
+func buildFigure1(t testing.TB, comp codec.Compression, sizing wris.SizingMode) (*Index, *BuildStats) {
+	t.Helper()
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	stats, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{
+		Compression: comp,
+		Sizing:      sizing,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, stats
+}
+
+func TestBuildAndOpenRoundTrip(t *testing.T) {
+	idx, stats := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	h := idx.Header()
+	if h.NumVertices != 7 || h.NumTopics != 4 || h.ModelName != "IC" || h.K != 5 {
+		t.Fatalf("header %+v", h)
+	}
+	if len(idx.Keywords()) != 4 {
+		t.Fatalf("keywords %v", idx.Keywords())
+	}
+	if stats.SumTheta() <= 0 || stats.MeanRRSize() < 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	for _, ks := range stats.Keywords {
+		d := idx.Dir(ks.TopicID)
+		if d == nil || int(d.ThetaW) != ks.Theta {
+			t.Fatalf("dir/stat mismatch for topic %d", ks.TopicID)
+		}
+	}
+}
+
+func TestQueryGuarantee(t *testing.T) {
+	idx, _ := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	cfgEps := 0.3
+	for _, q := range []topic.Query{
+		{Topics: []int{topicMusic}, K: 2},
+		{Topics: []int{topicBook}, K: 2},
+		{Topics: []int{topicMusic, topicBook}, K: 2},
+		{Topics: []int{topicCar, topicSport}, K: 1},
+	} {
+		res, err := idx.Query(q)
+		if err != nil {
+			t.Fatalf("query %v: %v", q.Topics, err)
+		}
+		if len(res.Seeds) != q.K {
+			t.Fatalf("query %v: %d seeds", q.Topics, len(res.Seeds))
+		}
+		score := func(v uint32) float64 { return prof.Score(v, q) }
+		got, err := prop.ExactWeightedSpread(g, prop.IC{}, res.Seeds, score)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, opt, err := prop.BestSeedSetExact(g, prop.IC{}, q.K, score)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < (1-1/math.E-cfgEps)*opt-1e-9 {
+			t.Errorf("query %v: spread %v below guarantee of OPT %v (seeds %v)",
+				q.Topics, got, opt, res.Seeds)
+		}
+		if math.Abs(res.EstSpread-got) > 0.4*opt {
+			t.Errorf("query %v: estimator %v vs exact %v", q.Topics, res.EstSpread, got)
+		}
+	}
+}
+
+func TestPlanRespectsProportions(t *testing.T) {
+	idx, _ := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	q := topic.Query{Topics: []int{topicMusic, topicBook}, K: 2}
+	alloc, err := idx.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, db := idx.Dir(topicMusic), idx.Dir(topicBook)
+	phiQ := dm.Phi + db.Phi
+	// The binding keyword is allocated (nearly) all of its sets; the other
+	// is proportional: θQw/θQw' ≈ pw/pw'.
+	am, ab := float64(alloc[topicMusic]), float64(alloc[topicBook])
+	wantRatio := dm.Phi / db.Phi
+	gotRatio := am / ab
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.01 {
+		t.Fatalf("allocation ratio %v, want %v (alloc %v)", gotRatio, wantRatio, alloc)
+	}
+	if int64(alloc[topicMusic]) > dm.ThetaW || int64(alloc[topicBook]) > db.ThetaW {
+		t.Fatalf("allocation exceeds stored θw: %v", alloc)
+	}
+	_ = phiQ
+}
+
+func TestPlanErrors(t *testing.T) {
+	idx, _ := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	if _, err := idx.Plan(topic.Query{Topics: []int{topicMusic}, K: 99}); err == nil {
+		t.Fatal("k above index K accepted")
+	}
+	if _, err := idx.Plan(topic.Query{Topics: []int{9}, K: 1}); err == nil {
+		t.Fatal("out-of-space topic accepted")
+	}
+	// Index only some topics, query another.
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{
+		Compression: codec.Delta,
+		Topics:      []int{topicMusic},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	partial, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.Plan(topic.Query{Topics: []int{topicBook}, K: 1}); err == nil {
+		t.Fatal("unindexed keyword accepted")
+	}
+}
+
+func TestCompressionModesAgree(t *testing.T) {
+	// Raw and Delta indexes must return identical seeds (same samples, same
+	// greedy), and Delta must be smaller.
+	idxRaw, statsRaw := buildFigure1(t, codec.Raw, wris.SizeTheta)
+	idxDelta, statsDelta := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	q := topic.Query{Topics: []int{topicMusic, topicBook}, K: 2}
+	r1, err := idxRaw.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := idxDelta.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Covered != r2.Covered || r1.NumRRSets != r2.NumRRSets {
+		t.Fatalf("raw %+v vs delta %+v", r1.Result, r2.Result)
+	}
+	for i := range r1.Seeds {
+		if r1.Seeds[i] != r2.Seeds[i] {
+			t.Fatalf("seeds diverge: %v vs %v", r1.Seeds, r2.Seeds)
+		}
+	}
+	if statsDelta.TotalBytes >= statsRaw.TotalBytes {
+		t.Fatalf("delta index (%d B) not smaller than raw (%d B)",
+			statsDelta.TotalBytes, statsRaw.TotalBytes)
+	}
+}
+
+func TestThetaHatLargerThanTheta(t *testing.T) {
+	// Table 3's effect: θ̂_w sizing must produce a strictly larger index.
+	_, statsHat := buildFigure1(t, codec.Delta, wris.SizeThetaHat)
+	_, stats := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	if statsHat.SumTheta() <= stats.SumTheta() {
+		t.Fatalf("Σθ̂_w = %d not larger than Σθ_w = %d",
+			statsHat.SumTheta(), stats.SumTheta())
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.rr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(f, g, prop.IC{}, prof, testConfig(), BuildOptions{Compression: codec.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	counter := diskio.NewCounter()
+	df, err := diskio.Open(path, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	idx, err := Open(df)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counter.Reset()
+	q := topic.Query{Topics: []int{topicMusic, topicBook}, K: 2}
+	res, err := idx.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("seeds %v", res.Seeds)
+	}
+	// Algorithm 2 reads two segments per keyword (sets prefix + inverted
+	// file): 4 logical I/Os for a 2-keyword query.
+	if res.IO.Total() != 4 {
+		t.Fatalf("I/O ops = %d (%+v), want 4", res.IO.Total(), res.IO)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{Compression: codec.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	truncated := data[:40]
+	badMagic := append([]byte("XXXX"), data[4:]...)
+	empty := []byte{}
+	for name, c := range map[string][]byte{
+		"truncated": truncated,
+		"bad magic": badMagic,
+		"empty":     empty,
+	} {
+		if _, err := Open(diskio.NewMem(c, nil)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	// Flip a byte inside the payload: queries should fail loudly, not
+	// return garbage silently. (Decoder errors or member-range checks.)
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-3] ^= 0xFF
+	idx, err := Open(diskio.NewMem(corrupt, nil))
+	if err != nil {
+		return // corrupted directory — also acceptable
+	}
+	for _, w := range idx.Keywords() {
+		_, qerr := idx.Query(topic.Query{Topics: []int{w}, K: 1})
+		if qerr != nil {
+			return // loudly failed, as desired
+		}
+	}
+	// Payload corruption may fall inside unread padding; not an error.
+}
+
+func TestBuildValidation(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{Compression: codec.Compression(9)}); err == nil {
+		t.Fatal("bad compression accepted")
+	}
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{Topics: []int{99}}); err == nil {
+		t.Fatal("bad topic accepted")
+	}
+	bad := testConfig()
+	bad.Epsilon = 2
+	if _, err := Build(&buf, g, prop.IC{}, prof, bad, BuildOptions{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+	emptyProf := topic.NewBuilder(7, 2).Build()
+	if _, err := Build(&buf, g, prop.IC{}, emptyProf, testConfig(), BuildOptions{}); err == nil {
+		t.Fatal("massless profile store accepted")
+	}
+}
+
+// TestMediumScaleConsistency cross-checks the index against online WRIS on
+// a 400-vertex news-like graph: both must produce seed sets of comparable
+// estimated quality.
+func TestMediumScaleConsistency(t *testing.T) {
+	g, err := gen.NewsLike(gen.NewsLikeConfig{N: 400, AvgDegree: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gen.Profiles(gen.DefaultProfilesConfig(400, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wris.Config{
+		Epsilon:            0.4,
+		K:                  20,
+		PilotSets:          600,
+		MaxThetaPerKeyword: 15000,
+		Seed:               9,
+		Workers:            2,
+	}
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, cfg, BuildOptions{Compression: codec.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := topic.Query{Topics: []int{0, 1}, K: 10}
+	fromIndex, err := idx.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := wris.Query(g, prop.IC{}, prof, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are (1−1/e−ε)-approximate; their estimated spreads should land
+	// within a generous factor of each other.
+	lo, hi := online.EstSpread*0.55, online.EstSpread*1.8
+	if fromIndex.EstSpread < lo || fromIndex.EstSpread > hi {
+		t.Fatalf("index spread %v vs online %v", fromIndex.EstSpread, online.EstSpread)
+	}
+}

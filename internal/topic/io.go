@@ -1,0 +1,98 @@
+package topic
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary profile format:
+//
+//	magic "KBTP" | version uint32 | numUsers uint64 | numTopics uint32 |
+//	numEntries uint64 | numEntries × (user uint32, topic uint32, tf float64).
+const (
+	profileMagic   = "KBTP"
+	profileVersion = 1
+)
+
+// ErrBadFormat reports a malformed or corrupt profile file.
+var ErrBadFormat = errors.New("topic: bad file format")
+
+// WriteBinary serializes the profile store.
+func WriteBinary(w io.Writer, p *Profiles) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(profileMagic); err != nil {
+		return err
+	}
+	var entries uint64
+	for u := 0; u < p.numUsers; u++ {
+		entries += uint64(p.userOff[u+1] - p.userOff[u])
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], profileVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(p.numUsers))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.numTopics))
+	binary.LittleEndian.PutUint64(hdr[16:24], entries)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for u := 0; u < p.numUsers; u++ {
+		topics, tfs := p.UserTopics(uint32(u))
+		for i := range topics {
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(u))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(topics[i]))
+			binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(tfs[i]))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a profile store written by WriteBinary.
+func ReadBinary(r io.Reader) (*Profiles, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+	}
+	if string(magic) != profileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic)
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadFormat)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != profileVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	numUsers := binary.LittleEndian.Uint64(hdr[4:12])
+	numTopics := binary.LittleEndian.Uint32(hdr[12:16])
+	entries := binary.LittleEndian.Uint64(hdr[16:24])
+	const maxReasonable = 1 << 33
+	if numUsers > maxReasonable || entries > maxReasonable || numTopics == 0 {
+		return nil, fmt.Errorf("%w: implausible header", ErrBadFormat)
+	}
+	b := NewBuilder(int(numUsers), int(numTopics))
+	var rec [16]byte
+	for i := uint64(0); i < entries; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: truncated entry %d", ErrBadFormat, i)
+		}
+		user := binary.LittleEndian.Uint32(rec[0:4])
+		topicID := binary.LittleEndian.Uint32(rec[4:8])
+		tf := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		if tf <= 0 || math.IsNaN(tf) || math.IsInf(tf, 0) {
+			return nil, fmt.Errorf("%w: invalid tf %v at entry %d", ErrBadFormat, tf, i)
+		}
+		if err := b.Set(user, int(topicID), tf); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
+		}
+	}
+	return b.Build(), nil
+}

@@ -1,0 +1,260 @@
+// Package topic implements the advertisement-targeting model of KB-TIM §3.1:
+// every user carries a weighted term vector over a universal topic space T,
+// an advertisement is a keyword set Q.T ⊆ T, and the impact of the ad on a
+// user v is the tf-idf score φ(v,Q) = Σ_{w∈Q.T} tf_{w,v}·idf_w (Eqn 1).
+//
+// The package also precomputes the per-keyword quantities the samplers and
+// indexes need:
+//
+//	TFSum(w)  = Σ_v tf_{w,v}              (the mass in Lemma 3/4's θ formulas)
+//	Phi(w)    = Σ_v tf_{w,v}·idf_w        (φ_w of Table 1)
+//	PhiQ(Q)   = Σ_{w∈Q.T} φ_w             (φ_Q; valid because profiles are
+//	                                       summed per keyword)
+//	PW(w, Q)  = φ_w / φ_Q                 (mixture weight p_w, Eqn 7)
+//	PSvw      = tf_{w,v} / TFSum(w)       (per-keyword sampling ps(v,w))
+package topic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Query is a KB-TIM query Q = (Q.T, Q.k): the advertisement's keyword set
+// and the seed budget (Definition 3).
+type Query struct {
+	Topics []int // Q.T, distinct topic IDs
+	K      int   // Q.k, number of seeds
+}
+
+// Validate checks the query against a topic space of the given size.
+func (q Query) Validate(numTopics int) error {
+	if q.K <= 0 {
+		return fmt.Errorf("topic: query k must be positive, got %d", q.K)
+	}
+	if len(q.Topics) == 0 {
+		return errors.New("topic: query needs at least one keyword")
+	}
+	seen := map[int]bool{}
+	for _, w := range q.Topics {
+		if w < 0 || w >= numTopics {
+			return fmt.Errorf("topic: keyword %d outside topic space [0,%d)", w, numTopics)
+		}
+		if seen[w] {
+			return fmt.Errorf("topic: duplicate keyword %d", w)
+		}
+		seen[w] = true
+	}
+	return nil
+}
+
+// Entry is a (user, tf) pair in a keyword's postings.
+type Entry struct {
+	User uint32
+	TF   float64
+}
+
+// Profiles is the immutable user-profile store. It maintains both views:
+// per-user sparse term vectors (for scoring φ(v,Q)) and per-keyword postings
+// (for offline per-keyword sampling).
+type Profiles struct {
+	numUsers  int
+	numTopics int
+
+	// Per-user CSR: topics/tfs for user u live at [userOff[u], userOff[u+1]).
+	userOff    []int64
+	userTopics []int32
+	userTFs    []float64
+
+	// Per-keyword postings sorted by user ID.
+	postings [][]Entry
+
+	tfSum []float64 // Σ_v tf_{w,v}
+	df    []int     // document frequency per topic
+	idf   []float64 // idf_w
+}
+
+// Builder accumulates (user, topic, tf) triples.
+type Builder struct {
+	numUsers  int
+	numTopics int
+	rows      []builderRow
+}
+
+type builderRow struct {
+	user  uint32
+	topic int32
+	tf    float64
+}
+
+// NewBuilder creates a profile builder over numUsers users and numTopics
+// topics.
+func NewBuilder(numUsers, numTopics int) *Builder {
+	if numUsers < 0 || numTopics <= 0 {
+		panic("topic: invalid builder dimensions")
+	}
+	return &Builder{numUsers: numUsers, numTopics: numTopics}
+}
+
+// Set records the preference weight tf of user for topic. Non-positive
+// weights are ignored (absent topics have tf 0 implicitly). Setting the same
+// (user, topic) twice sums the weights.
+func (b *Builder) Set(user uint32, topicID int, tf float64) error {
+	if int(user) >= b.numUsers {
+		return fmt.Errorf("topic: user %d out of range", user)
+	}
+	if topicID < 0 || topicID >= b.numTopics {
+		return fmt.Errorf("topic: topic %d out of range", topicID)
+	}
+	if tf <= 0 || math.IsNaN(tf) || math.IsInf(tf, 0) {
+		return nil
+	}
+	b.rows = append(b.rows, builderRow{user: user, topic: int32(topicID), tf: tf})
+	return nil
+}
+
+// Build finalizes the store, computing idf_w = ln(1 + |V|/df_w). The "+1"
+// smoothing keeps idf finite and positive even for topics covering every
+// user; topics with df = 0 get idf 0 and mass 0, so queries touching them
+// contribute nothing (the paper only queries topics that occur).
+func (b *Builder) Build() *Profiles {
+	// Merge duplicates: sort by (user, topic) and fold.
+	sort.Slice(b.rows, func(i, j int) bool {
+		if b.rows[i].user != b.rows[j].user {
+			return b.rows[i].user < b.rows[j].user
+		}
+		return b.rows[i].topic < b.rows[j].topic
+	})
+	merged := b.rows[:0]
+	for _, r := range b.rows {
+		if n := len(merged); n > 0 && merged[n-1].user == r.user && merged[n-1].topic == r.topic {
+			merged[n-1].tf += r.tf
+			continue
+		}
+		merged = append(merged, r)
+	}
+
+	p := &Profiles{
+		numUsers:   b.numUsers,
+		numTopics:  b.numTopics,
+		userOff:    make([]int64, b.numUsers+1),
+		userTopics: make([]int32, len(merged)),
+		userTFs:    make([]float64, len(merged)),
+		postings:   make([][]Entry, b.numTopics),
+		tfSum:      make([]float64, b.numTopics),
+		df:         make([]int, b.numTopics),
+		idf:        make([]float64, b.numTopics),
+	}
+	for _, r := range merged {
+		p.userOff[r.user+1]++
+	}
+	for u := 0; u < b.numUsers; u++ {
+		p.userOff[u+1] += p.userOff[u]
+	}
+	cur := make([]int64, b.numUsers)
+	for _, r := range merged {
+		i := p.userOff[r.user] + cur[r.user]
+		cur[r.user]++
+		p.userTopics[i] = r.topic
+		p.userTFs[i] = r.tf
+		p.postings[r.topic] = append(p.postings[r.topic], Entry{User: r.user, TF: r.tf})
+		p.tfSum[r.topic] += r.tf
+		p.df[r.topic]++
+	}
+	for w := 0; w < b.numTopics; w++ {
+		if p.df[w] > 0 {
+			p.idf[w] = math.Log(1 + float64(b.numUsers)/float64(p.df[w]))
+		}
+	}
+	return p
+}
+
+// NumUsers returns |V| as known to the profile store.
+func (p *Profiles) NumUsers() int { return p.numUsers }
+
+// NumTopics returns |T|.
+func (p *Profiles) NumTopics() int { return p.numTopics }
+
+// TF returns tf_{w,v}, 0 when the user has no preference for the topic.
+func (p *Profiles) TF(user uint32, topicID int) float64 {
+	lo, hi := p.userOff[user], p.userOff[user+1]
+	topics := p.userTopics[lo:hi]
+	i := sort.Search(len(topics), func(i int) bool { return topics[i] >= int32(topicID) })
+	if i < len(topics) && topics[i] == int32(topicID) {
+		return p.userTFs[lo+int64(i)]
+	}
+	return 0
+}
+
+// UserTopics returns the user's sparse term vector as parallel slices
+// (topics ascending). The slices alias internal storage.
+func (p *Profiles) UserTopics(user uint32) ([]int32, []float64) {
+	lo, hi := p.userOff[user], p.userOff[user+1]
+	return p.userTopics[lo:hi], p.userTFs[lo:hi]
+}
+
+// IDF returns idf_w.
+func (p *Profiles) IDF(topicID int) float64 { return p.idf[topicID] }
+
+// DF returns the number of users with tf_{w,v} > 0.
+func (p *Profiles) DF(topicID int) int { return p.df[topicID] }
+
+// TFSum returns Σ_v tf_{w,v}, the un-idf'd keyword mass used by Lemmas 3–4.
+func (p *Profiles) TFSum(topicID int) float64 { return p.tfSum[topicID] }
+
+// Phi returns φ_w = Σ_v tf_{w,v}·idf_w (Table 1).
+func (p *Profiles) Phi(topicID int) float64 { return p.tfSum[topicID] * p.idf[topicID] }
+
+// Postings returns the keyword's postings list, sorted by user ID. The slice
+// aliases internal storage.
+func (p *Profiles) Postings(topicID int) []Entry { return p.postings[topicID] }
+
+// Score returns φ(v,Q) = Σ_{w∈Q.T} tf_{w,v}·idf_w (Eqn 1).
+func (p *Profiles) Score(user uint32, q Query) float64 {
+	var s float64
+	for _, w := range q.Topics {
+		if tf := p.TF(user, w); tf > 0 {
+			s += tf * p.idf[w]
+		}
+	}
+	return s
+}
+
+// PhiQ returns φ_Q = Σ_v φ(v,Q) = Σ_{w∈Q.T} φ_w.
+func (p *Profiles) PhiQ(q Query) float64 {
+	var s float64
+	for _, w := range q.Topics {
+		s += p.Phi(w)
+	}
+	return s
+}
+
+// PW returns the mixture weight p_w = φ_w / φ_Q for keyword w within query q
+// (Eqn 7). It returns 0 when φ_Q is 0.
+func (p *Profiles) PW(topicID int, q Query) float64 {
+	phiQ := p.PhiQ(q)
+	if phiQ == 0 {
+		return 0
+	}
+	return p.Phi(topicID) / phiQ
+}
+
+// PSvw returns the per-keyword sampling probability ps(v,w) =
+// tf_{w,v} / Σ_v tf_{w,v}. It returns 0 when the keyword has no mass.
+func (p *Profiles) PSvw(user uint32, topicID int) float64 {
+	if p.tfSum[topicID] == 0 {
+		return 0
+	}
+	return p.TF(user, topicID) / p.tfSum[topicID]
+}
+
+// PSvQ returns the query-conditioned sampling probability ps(v,Q) =
+// φ(v,Q)/φ_Q (Eqn 3).
+func (p *Profiles) PSvQ(user uint32, q Query) float64 {
+	phiQ := p.PhiQ(q)
+	if phiQ == 0 {
+		return 0
+	}
+	return p.Score(user, q) / phiQ
+}

@@ -1,0 +1,255 @@
+package topic
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kbtim/internal/rng"
+)
+
+// tiny builds a 4-user, 3-topic store with known weights.
+func tiny(t testing.TB) *Profiles {
+	t.Helper()
+	b := NewBuilder(4, 3)
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(b.Set(0, 0, 0.5)) // user 0: topic0=0.5, topic1=0.5
+	must(b.Set(0, 1, 0.5))
+	must(b.Set(1, 0, 0.3)) // user 1: topic0=0.3, topic2=0.7
+	must(b.Set(1, 2, 0.7))
+	must(b.Set(2, 1, 1.0)) // user 2: topic1=1.0
+	// user 3: empty profile
+	return b.Build()
+}
+
+func TestTFLookup(t *testing.T) {
+	p := tiny(t)
+	cases := []struct {
+		user  uint32
+		topic int
+		want  float64
+	}{
+		{0, 0, 0.5}, {0, 1, 0.5}, {0, 2, 0},
+		{1, 0, 0.3}, {1, 2, 0.7},
+		{2, 1, 1.0}, {2, 0, 0},
+		{3, 0, 0}, {3, 1, 0}, {3, 2, 0},
+	}
+	for _, c := range cases {
+		if got := p.TF(c.user, c.topic); got != c.want {
+			t.Errorf("TF(%d,%d) = %v, want %v", c.user, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	p := tiny(t)
+	if got := p.TFSum(0); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("TFSum(0) = %v, want 0.8", got)
+	}
+	if got := p.DF(0); got != 2 {
+		t.Errorf("DF(0) = %d, want 2", got)
+	}
+	wantIDF := math.Log(1 + 4.0/2.0)
+	if got := p.IDF(0); math.Abs(got-wantIDF) > 1e-12 {
+		t.Errorf("IDF(0) = %v, want %v", got, wantIDF)
+	}
+	if got := p.Phi(0); math.Abs(got-0.8*wantIDF) > 1e-12 {
+		t.Errorf("Phi(0) = %v", got)
+	}
+	// Topic never used: zero everything.
+	b := NewBuilder(4, 5)
+	_ = b.Set(0, 0, 1)
+	p2 := b.Build()
+	if p2.IDF(4) != 0 || p2.Phi(4) != 0 || p2.DF(4) != 0 {
+		t.Error("unused topic has nonzero stats")
+	}
+}
+
+func TestScoreAndPhiQ(t *testing.T) {
+	p := tiny(t)
+	q := Query{Topics: []int{0, 1}, K: 2}
+	want := 0.5*p.IDF(0) + 0.5*p.IDF(1)
+	if got := p.Score(0, q); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Score(0,Q) = %v, want %v", got, want)
+	}
+	// φ_Q equals both the per-user sum and the per-keyword sum.
+	var byUser float64
+	for u := uint32(0); u < 4; u++ {
+		byUser += p.Score(u, q)
+	}
+	if got := p.PhiQ(q); math.Abs(got-byUser) > 1e-12 {
+		t.Errorf("PhiQ = %v, per-user sum %v", got, byUser)
+	}
+}
+
+func TestMixtureIdentity(t *testing.T) {
+	// Eqn 7: Σ_{w∈Q.T} ps(v,w)·p_w = ps(v,Q), for every user, on random
+	// profile stores.
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		nUsers := src.Intn(30) + 2
+		nTopics := src.Intn(6) + 2
+		b := NewBuilder(nUsers, nTopics)
+		for i := 0; i < nUsers*2; i++ {
+			_ = b.Set(uint32(src.Intn(nUsers)), src.Intn(nTopics), src.Float64()+0.05)
+		}
+		p := b.Build()
+		// Build a query from all topics with positive mass.
+		var topics []int
+		for w := 0; w < nTopics; w++ {
+			if p.TFSum(w) > 0 {
+				topics = append(topics, w)
+			}
+		}
+		if len(topics) == 0 {
+			return true
+		}
+		q := Query{Topics: topics, K: 1}
+		for u := uint32(0); u < uint32(nUsers); u++ {
+			var mix float64
+			for _, w := range topics {
+				mix += p.PSvw(u, w) * p.PW(w, q)
+			}
+			if math.Abs(mix-p.PSvQ(u, q)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNormalization(t *testing.T) {
+	p := tiny(t)
+	for w := 0; w < 3; w++ {
+		var sum float64
+		for u := uint32(0); u < 4; u++ {
+			sum += p.PSvw(u, w)
+		}
+		if p.TFSum(w) > 0 && math.Abs(sum-1) > 1e-12 {
+			t.Errorf("Σ_v ps(v,%d) = %v, want 1", w, sum)
+		}
+	}
+	q := Query{Topics: []int{0, 1, 2}, K: 1}
+	var sum float64
+	for u := uint32(0); u < 4; u++ {
+		sum += p.PSvQ(u, q)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("Σ_v ps(v,Q) = %v, want 1", sum)
+	}
+}
+
+func TestDuplicateSetSums(t *testing.T) {
+	b := NewBuilder(1, 1)
+	_ = b.Set(0, 0, 0.25)
+	_ = b.Set(0, 0, 0.25)
+	p := b.Build()
+	if got := p.TF(0, 0); got != 0.5 {
+		t.Fatalf("duplicate Set: TF = %v, want 0.5", got)
+	}
+	if p.DF(0) != 1 {
+		t.Fatalf("duplicate Set inflated DF: %d", p.DF(0))
+	}
+}
+
+func TestSetRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(2, 2)
+	if err := b.Set(2, 0, 1); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+	if err := b.Set(0, 2, 1); err == nil {
+		t.Fatal("out-of-range topic accepted")
+	}
+	if err := b.Set(0, 0, -1); err != nil {
+		t.Fatal("negative tf should be silently ignored, not error")
+	}
+	if err := b.Set(0, 0, math.NaN()); err != nil {
+		t.Fatal("NaN tf should be silently ignored")
+	}
+	p := b.Build()
+	if p.TF(0, 0) != 0 {
+		t.Fatal("ignored weights leaked into store")
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	if err := (Query{Topics: []int{0}, K: 1}).Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Query{
+		{Topics: []int{0}, K: 0},
+		{Topics: nil, K: 1},
+		{Topics: []int{3}, K: 1},
+		{Topics: []int{-1}, K: 1},
+		{Topics: []int{0, 0}, K: 1},
+	}
+	for i, q := range bad {
+		if err := q.Validate(3); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestPostingsSorted(t *testing.T) {
+	p := tiny(t)
+	for w := 0; w < 3; w++ {
+		entries := p.Postings(w)
+		for i := 1; i < len(entries); i++ {
+			if entries[i-1].User >= entries[i].User {
+				t.Fatalf("postings for %d not strictly sorted", w)
+			}
+		}
+	}
+	if len(p.Postings(1)) != 2 {
+		t.Fatalf("postings(1) length %d, want 2", len(p.Postings(1)))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	p := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.NumUsers() != p.NumUsers() || p2.NumTopics() != p.NumTopics() {
+		t.Fatal("dimensions changed in round trip")
+	}
+	for u := uint32(0); u < 4; u++ {
+		for w := 0; w < 3; w++ {
+			if p.TF(u, w) != p2.TF(u, w) {
+				t.Fatalf("TF(%d,%d) changed: %v vs %v", u, w, p.TF(u, w), p2.TF(u, w))
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	p := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("NOPE"), data[4:]...),
+		"truncated": data[:len(data)-5],
+	}
+	for name, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package wris
+
+import (
+	"testing"
+
+	"kbtim/internal/prop"
+)
+
+func TestPlanThetaWModes(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	cfg := testConfig()
+	cfg.MaxThetaPerKeyword = 0 // uncapped: compare the raw bounds
+
+	hat, cappedHat, err := PlanThetaW(g, prop.IC{}, prof, topicMusic, cfg, SizeThetaHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, cappedStd, err := PlanThetaW(g, prop.IC{}, prof, topicMusic, cfg, SizeTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cappedHat || cappedStd {
+		t.Fatal("uncapped plan reported capped")
+	}
+	// Lemma 4: θ_w ≤ θ̂_w (OPT_K ≥ OPT_1).
+	if std > hat {
+		t.Fatalf("θ_w = %d exceeds θ̂_w = %d", std, hat)
+	}
+	if std < 1 {
+		t.Fatalf("θ_w = %d", std)
+	}
+}
+
+func TestPlanThetaWCapReporting(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	cfg := testConfig()
+	cfg.MaxThetaPerKeyword = 3
+	theta, capped, err := PlanThetaW(g, prop.IC{}, prof, topicMusic, cfg, SizeTheta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if theta != 3 || !capped {
+		t.Fatalf("theta=%d capped=%v, want 3/true", theta, capped)
+	}
+}
+
+func TestPlanThetaWValidation(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	cfg := testConfig()
+	if _, _, err := PlanThetaW(g, prop.IC{}, prof, topicMusic, cfg, SizingMode(9)); err == nil {
+		t.Fatal("unknown sizing mode accepted")
+	}
+	bad := cfg
+	bad.Epsilon = -1
+	if _, _, err := PlanThetaW(g, prop.IC{}, prof, topicMusic, bad, SizeTheta); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, _, err := PlanThetaW(g, prop.IC{}, prof, 99, cfg, SizeTheta); err == nil {
+		t.Fatal("unknown keyword accepted")
+	}
+}
+
+func TestSizingModeString(t *testing.T) {
+	if SizeThetaHat.String() != "theta-hat" || SizeTheta.String() != "theta" {
+		t.Fatal("mode names broken")
+	}
+	if SizingMode(9).String() == "" {
+		t.Fatal("unknown mode name empty")
+	}
+}

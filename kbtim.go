@@ -1,0 +1,90 @@
+// Package kbtim is a Go implementation of Keyword-Based Targeted Influence
+// Maximization (KB-TIM) for online advertisements, reproducing
+//
+//	Yuchen Li, Dongxiang Zhang, Kian-Lee Tan.
+//	"Real-time Targeted Influence Maximization for Online Advertisements."
+//	PVLDB 8(10): 1070–1081, 2015.
+//
+// A KB-TIM query finds, for an advertisement described by a weighted
+// keyword set, the k seed users maximizing the expected influence over the
+// users relevant to that advertisement (the targeted spread
+// E[I^Q(S)] = Σ_v p(S→v)·φ(v,Q), where φ is tf-idf relevance).
+//
+// Three query-processing strategies are provided, all carrying the paper's
+// (1−1/e−ε) approximation guarantee:
+//
+//   - WRIS — online weighted reverse-influence-set sampling (Theorem 2).
+//     Accurate but slow: every query pays the full sampling cost.
+//   - RR index — per-keyword RR sets pre-sampled offline with
+//     discriminative probabilities ps(v,w) and stored on disk; a query
+//     merges θ^Q·p_w sets per keyword and runs greedy max coverage
+//     (Algorithms 1–2).
+//   - IRR index — the RR index reorganized for incremental access: inverted
+//     lists sorted by influence and partitioned, consumed by an NRA-style
+//     top-k aggregation that stops as soon as the next seed is provably
+//     best (Algorithms 3–4; returns the same coverage scores as RR,
+//     Theorem 3).
+//
+// # Quickstart
+//
+//	ds, _ := kbtim.GenerateDataset(kbtim.DatasetSpec{
+//		Kind: kbtim.TwitterLike, NumUsers: 50000, AvgDegree: 10,
+//		NumTopics: 64, Seed: 1,
+//	})
+//	eng, _ := kbtim.NewEngine(ds, kbtim.Options{Epsilon: 0.3, K: 50})
+//	_ = eng.BuildIRRIndex("ads.irr")
+//	_ = eng.OpenIRRIndex("ads.irr")
+//	res, _ := eng.QueryIRR(kbtim.Query{Topics: []int{3, 17}, K: 10})
+//	fmt.Println(res.Seeds, res.EstSpread)
+//
+// See examples/ for runnable programs and DESIGN.md for the full mapping
+// between the paper and this repository.
+package kbtim
+
+import (
+	"fmt"
+
+	"kbtim/internal/graph"
+	"kbtim/internal/prop"
+	"kbtim/internal/topic"
+)
+
+// Query is a KB-TIM query: the advertisement's keyword set Q.T (topic IDs)
+// and the seed budget Q.k.
+type Query struct {
+	// Topics is the advertisement keyword set Q.T (distinct topic IDs).
+	Topics []int
+	// K is Q.k, the number of seed users to select.
+	K int
+}
+
+func (q Query) internal() topic.Query { return topic.Query{Topics: q.Topics, K: q.K} }
+
+// Model selects the influence-propagation model.
+type Model string
+
+// Supported propagation models.
+const (
+	// IC is the independent cascade model with p(e)=1/N_v (§2.1).
+	IC Model = "IC"
+	// LT is the linear threshold model with uniform normalized weights.
+	LT Model = "LT"
+)
+
+func (m Model) internal() (prop.Model, error) {
+	switch m {
+	case IC, "":
+		return prop.IC{}, nil
+	case LT:
+		return prop.LT{}, nil
+	default:
+		return nil, fmt.Errorf("kbtim: unknown model %q", string(m))
+	}
+}
+
+// Seed is a selected seed user.
+type Seed = uint32
+
+// Edge is a directed "From influences To" edge, re-exported for graph
+// construction.
+type Edge = graph.Edge
