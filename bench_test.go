@@ -81,6 +81,9 @@ func BenchmarkAblationCompression(b *testing.B) {
 func BenchmarkAblationGreedy(b *testing.B) {
 	runExperiment(b, "ablation-greedy", bench.AblationGreedy)
 }
+func BenchmarkThroughput(b *testing.B) {
+	runExperiment(b, "throughput", bench.Throughput)
+}
 
 // TestMain tears down the shared benchmark environment (cached index files
 // in the OS temp dir) after all benchmarks have run.

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"kbtim/internal/rng"
+)
+
+// driveConfig parameterizes one closed-loop load run: each of Clients
+// workers keeps exactly one query outstanding at all times (issue, wait,
+// issue again), the classic closed-loop model, so the measured rate is the
+// server's sustainable throughput at that concurrency.
+type driveConfig struct {
+	Target   string // base URL of a running kbtim-serve
+	Clients  int
+	Duration time.Duration
+	K        int
+	MaxLen   int // keywords per query drawn uniformly from [1, MaxLen]
+	Strategy string
+	Seed     uint64
+}
+
+// driveReport aggregates one load run.
+type driveReport struct {
+	Clients   int
+	Aborted   int // clients that gave up after persistent errors
+	Queries   int
+	Errors    int
+	Elapsed   time.Duration
+	QPS       float64
+	MeanMS    float64
+	P50MS     float64
+	P95MS     float64
+	CacheHits int64
+}
+
+// fetchKeywords asks the target server for its queryable topic universe.
+func fetchKeywords(client *http.Client, target string) ([]int, error) {
+	resp, err := client.Get(target + "/keywords")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("keywords: %s: %s", resp.Status, body)
+	}
+	var payload struct {
+		Topics []int `json:"topics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, err
+	}
+	if len(payload.Topics) == 0 {
+		return nil, fmt.Errorf("keywords: server reports an empty topic universe")
+	}
+	return payload.Topics, nil
+}
+
+// pickTopics draws 1..maxLen distinct topics from the universe.
+func pickTopics(r *rng.Source, universe []int, maxLen int) []int {
+	if maxLen > len(universe) {
+		maxLen = len(universe)
+	}
+	if maxLen < 1 {
+		maxLen = 1
+	}
+	n := 1 + r.Intn(maxLen)
+	seen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		t := universe[r.Intn(len(universe))]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// drive runs the closed loop and aggregates latencies across clients.
+func drive(cfg driveConfig) (*driveReport, error) {
+	client := &http.Client{Timeout: 60 * time.Second}
+	universe, err := fetchKeywords(client, cfg.Target)
+	if err != nil {
+		return nil, err
+	}
+
+	type clientResult struct {
+		latencies []float64 // milliseconds
+		errors    int
+		hits      int64
+		aborted   bool
+	}
+	results := make([]clientResult, cfg.Clients)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rng.New(cfg.Seed + uint64(c)*7919)
+			// Failed requests return in microseconds; without a backoff a
+			// dead or rejecting server would make the loop busy-spin for
+			// the whole duration. Pause briefly per error and give up on
+			// the client once the server looks persistently broken.
+			const maxConsecutiveErrors = 20
+			consecutive := 0
+			fail := func() bool {
+				results[c].errors++
+				consecutive++
+				if consecutive >= maxConsecutiveErrors {
+					results[c].aborted = true
+					return true
+				}
+				time.Sleep(50 * time.Millisecond)
+				return false
+			}
+			for time.Now().Before(deadline) {
+				req := queryRequest{
+					Topics:   pickTopics(r, universe, cfg.MaxLen),
+					K:        cfg.K,
+					Strategy: cfg.Strategy,
+				}
+				body, _ := json.Marshal(req)
+				t0 := time.Now()
+				resp, err := client.Post(cfg.Target+"/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					if fail() {
+						return
+					}
+					continue
+				}
+				var qr queryResponse
+				decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || decodeErr != nil {
+					if fail() {
+						return
+					}
+					continue
+				}
+				consecutive = 0
+				results[c].latencies = append(results[c].latencies, time.Since(t0).Seconds()*1000)
+				results[c].hits += qr.IO.CacheHits
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &driveReport{Elapsed: elapsed, Clients: cfg.Clients}
+	var all []float64
+	for _, r := range results {
+		all = append(all, r.latencies...)
+		rep.Errors += r.errors
+		rep.CacheHits += r.hits
+		if r.aborted {
+			rep.Aborted++
+		}
+	}
+	rep.Queries = len(all)
+	if rep.Queries == 0 {
+		return rep, nil
+	}
+	rep.QPS = float64(rep.Queries) / elapsed.Seconds()
+	sort.Float64s(all)
+	var sum float64
+	for _, v := range all {
+		sum += v
+	}
+	rep.MeanMS = sum / float64(len(all))
+	rep.P50MS = percentile(all, 0.50)
+	rep.P95MS = percentile(all, 0.95)
+	return rep, nil
+}
+
+// percentile reads the p-quantile from ascending-sorted ms latencies.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func (r *driveReport) print() {
+	if r.Aborted > 0 {
+		fmt.Printf("WARNING:    %d of %d clients gave up after persistent errors; rates below reflect the survivors\n",
+			r.Aborted, r.Clients)
+	}
+	fmt.Printf("queries:    %d (%d errors)\n", r.Queries, r.Errors)
+	fmt.Printf("elapsed:    %v\n", r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput: %.1f queries/sec\n", r.QPS)
+	fmt.Printf("latency:    mean %.2f ms, p50 %.2f ms, p95 %.2f ms\n", r.MeanMS, r.P50MS, r.P95MS)
+	fmt.Printf("cache hits: %d (per-query segment cache, server side)\n", r.CacheHits)
+}

@@ -1,0 +1,131 @@
+// Command kbtim-serve runs a KB-TIM query server over HTTP/JSON, or drives
+// one with closed-loop load.
+//
+// Serve mode binds one Engine (with its segment cache) to an address and
+// answers concurrent queries through a bounded worker pool:
+//
+//	kbtim-serve -graph g.bin -profiles p.bin -irr ads.irr \
+//	            -addr :8080 -workers 8 -cache-mb 64
+//
+// Endpoints:
+//
+//	POST /query    {"topics":[2,7],"k":10,"strategy":"irr"} → seeds + stats
+//	GET  /keywords queryable topic IDs
+//	GET  /stats    pool, latency, and cache counters
+//	GET  /healthz  liveness
+//
+// Drive mode is a closed-loop load generator against a running server
+// (each client keeps exactly one query outstanding):
+//
+//	kbtim-serve -drive -target http://localhost:8080 \
+//	            -clients 16 -duration 30s -k 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"kbtim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		// Serve mode.
+		addr        = flag.String("addr", ":8080", "listen address (serve mode)")
+		graphPath   = flag.String("graph", "graph.bin", "input graph path")
+		profilePath = flag.String("profiles", "profiles.bin", "input profiles path")
+		rrPath      = flag.String("rr", "", "RR index path (optional)")
+		irrPath     = flag.String("irr", "", "IRR index path (optional)")
+		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
+		cacheMB     = flag.Int("cache-mb", 32, "segment cache budget per index, MiB (0 = no cache)")
+		model       = flag.String("model", "IC", "propagation model: IC | LT")
+		epsilon     = flag.Float64("epsilon", 0.3, "approximation ε")
+		bigK        = flag.Int("K", 100, "system cap on Q.k")
+		maxTheta    = flag.Int("max-theta", 0, "per-keyword sampling cap (0 = none)")
+		seed        = flag.Uint64("seed", 1, "RNG seed")
+
+		// Drive mode.
+		driveMode = flag.Bool("drive", false, "run the closed-loop load driver instead of serving")
+		target    = flag.String("target", "http://localhost:8080", "server base URL (drive mode)")
+		clients   = flag.Int("clients", 8, "closed-loop client count (drive mode)")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration (drive mode)")
+		k         = flag.Int("k", 10, "seed budget Q.k per generated query (drive mode)")
+		maxLen    = flag.Int("max-keywords", 3, "max keywords per generated query (drive mode)")
+		strategy  = flag.String("strategy", "irr", "strategy for generated queries: rr | irr (drive mode)")
+	)
+	flag.Parse()
+
+	if *driveMode {
+		rep, err := drive(driveConfig{
+			Target:   *target,
+			Clients:  *clients,
+			Duration: *duration,
+			K:        *k,
+			MaxLen:   *maxLen,
+			Strategy: *strategy,
+			Seed:     *seed,
+		})
+		if err != nil {
+			log.Fatalf("kbtim-serve: %v", err)
+		}
+		rep.print()
+		return
+	}
+
+	if *rrPath == "" && *irrPath == "" {
+		log.Fatal("kbtim-serve: serve mode needs -rr and/or -irr (or use -drive)")
+	}
+	ds, err := kbtim.LoadDataset(*graphPath, *profilePath)
+	if err != nil {
+		log.Fatalf("kbtim-serve: %v", err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            *epsilon,
+		K:                  *bigK,
+		Model:              kbtim.Model(*model),
+		MaxThetaPerKeyword: *maxTheta,
+		Seed:               *seed,
+		CacheBytes:         int64(*cacheMB) << 20,
+	})
+	if err != nil {
+		log.Fatalf("kbtim-serve: %v", err)
+	}
+	defer eng.Close()
+	if *rrPath != "" {
+		if err := eng.OpenRRIndex(*rrPath); err != nil {
+			log.Fatalf("kbtim-serve: %v", err)
+		}
+	}
+	if *irrPath != "" {
+		if err := eng.OpenIRRIndex(*irrPath); err != nil {
+			log.Fatalf("kbtim-serve: %v", err)
+		}
+	}
+
+	pool := *workers
+	if pool <= 0 {
+		pool = runtime.NumCPU()
+	}
+	srv := NewServer(eng, pool)
+	fmt.Printf("kbtim-serve: listening on %s (%d workers, %d MiB cache/index)\n",
+		*addr, pool, *cacheMB)
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Slow or stalled clients must not pin connections forever; the
+		// write timeout bounds queue wait + query time, so keep it well
+		// above typical query latency.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	if err := hs.ListenAndServe(); err != nil {
+		log.Fatalf("kbtim-serve: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"kbtim"
+	"kbtim/internal/diskio"
+)
+
+// Server exposes a kbtim.Engine over HTTP/JSON. Query execution runs
+// through a bounded worker pool: at most `workers` queries execute at once,
+// additional requests wait in line (respecting request-context
+// cancellation) rather than piling unbounded load onto the engine.
+type Server struct {
+	eng     *kbtim.Engine
+	sem     chan struct{}
+	started time.Time
+
+	served   atomic.Int64 // queries answered successfully
+	failed   atomic.Int64 // queries rejected or errored
+	inflight atomic.Int64
+	totalNS  atomic.Int64 // summed service time of served queries
+}
+
+// NewServer wraps eng with a pool of the given size (minimum 1).
+func NewServer(eng *kbtim.Engine, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Server{
+		eng:     eng,
+		sem:     make(chan struct{}, workers),
+		started: time.Now(),
+	}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/keywords", s.handleKeywords)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Topics is the advertisement keyword set Q.T.
+	Topics []int `json:"topics"`
+	// K is the seed budget Q.k.
+	K int `json:"k"`
+	// Strategy selects the processing path: "irr" (default) or "rr".
+	Strategy string `json:"strategy,omitempty"`
+}
+
+// ioJSON mirrors kbtim.IOStats for the wire.
+type ioJSON struct {
+	SequentialReads int64 `json:"sequential_reads"`
+	RandomReads     int64 `json:"random_reads"`
+	BytesRead       int64 `json:"bytes_read"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Strategy         string   `json:"strategy"`
+	Seeds            []uint32 `json:"seeds"`
+	EstSpread        float64  `json:"est_spread"`
+	NumRRSets        int      `json:"num_rr_sets"`
+	PartitionsLoaded int      `json:"partitions_loaded,omitempty"`
+	IO               ioJSON   `json:"io"`
+	ElapsedMS        float64  `json:"elapsed_ms"`
+}
+
+// cacheJSON mirrors diskio.CacheStats for the wire.
+type cacheJSON struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	HitRate     float64 `json:"hit_rate"`
+	Entries     int     `json:"entries"`
+	BytesCached int64   `json:"bytes_cached"`
+	BudgetBytes int64   `json:"budget_bytes"`
+}
+
+func toCacheJSON(s diskio.CacheStats) cacheJSON {
+	return cacheJSON{
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		HitRate:     s.HitRate(),
+		Entries:     s.Entries,
+		BytesCached: s.BytesCached,
+		BudgetBytes: s.BudgetBytes,
+	}
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	UptimeSec     float64   `json:"uptime_sec"`
+	Workers       int       `json:"workers"`
+	InFlight      int64     `json:"in_flight"`
+	Served        int64     `json:"served"`
+	Failed        int64     `json:"failed"`
+	MeanLatencyMS float64   `json:"mean_latency_ms"`
+	RRCache       cacheJSON `json:"rr_cache"`
+	IRRCache      cacheJSON `json:"irr_cache"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("kbtim-serve: encode response: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req queryRequest
+	// A query is a handful of ints; cap the body so a hostile payload
+	// cannot allocate unbounded memory before validation runs.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "irr"
+	}
+	if strategy != "irr" && strategy != "rr" {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, "unknown strategy %q (want rr or irr)", strategy)
+		return
+	}
+
+	// Wait for a pool slot; a closed connection abandons the wait.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		s.failed.Add(1)
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	q := kbtim.Query{Topics: req.Topics, K: req.K}
+	start := time.Now()
+	var res *kbtim.Result
+	var err error
+	if strategy == "rr" {
+		res, err = s.eng.QueryRR(q)
+	} else {
+		res, err = s.eng.QueryIRR(q)
+	}
+	if err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.served.Add(1)
+	s.totalNS.Add(time.Since(start).Nanoseconds())
+	writeJSON(w, http.StatusOK, queryResponse{
+		Strategy:         strategy,
+		Seeds:            res.Seeds,
+		EstSpread:        res.EstSpread,
+		NumRRSets:        res.NumRRSets,
+		PartitionsLoaded: res.PartitionsLoaded,
+		IO: ioJSON{
+			SequentialReads: res.IO.SequentialReads,
+			RandomReads:     res.IO.RandomReads,
+			BytesRead:       res.IO.BytesRead,
+			CacheHits:       res.IO.CacheHits,
+			CacheMisses:     res.IO.CacheMisses,
+		},
+		ElapsedMS: res.Elapsed.Seconds() * 1000,
+	})
+}
+
+func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
+	kws := s.eng.IndexedKeywords()
+	if kws == nil {
+		writeError(w, http.StatusServiceUnavailable, "no index attached")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"topics": kws,
+		"count":  len(kws),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	served := s.served.Load()
+	mean := 0.0
+	if served > 0 {
+		mean = float64(s.totalNS.Load()) / float64(served) / 1e6
+	}
+	rrCache, irrCache := s.eng.CacheStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSec:     time.Since(s.started).Seconds(),
+		Workers:       cap(s.sem),
+		InFlight:      s.inflight.Load(),
+		Served:        served,
+		Failed:        s.failed.Load(),
+		MeanLatencyMS: mean,
+		RRCache:       toCacheJSON(rrCache),
+		IRRCache:      toCacheJSON(irrCache),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

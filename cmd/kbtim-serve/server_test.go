@@ -1,0 +1,236 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"kbtim"
+)
+
+// testEngine builds a small dataset with both indexes attached and caching
+// on.
+func testEngine(t *testing.T) *kbtim.Engine {
+	t.Helper()
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind: kbtim.TwitterLike, NumUsers: 300, AvgDegree: 6,
+		NumTopics: 6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            0.5,
+		K:                  10,
+		MaxThetaPerKeyword: 4000,
+		PartitionSize:      5,
+		Seed:               11,
+		CacheBytes:         1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	dir := t.TempDir()
+	rrPath := filepath.Join(dir, "t.rr")
+	irrPath := filepath.Join(dir, "t.irr")
+	if _, err := eng.BuildRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.OpenRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.OpenIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req queryRequest) (*queryResponse, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr queryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &qr, resp
+}
+
+func TestServerQueryEndpoint(t *testing.T) {
+	srv := NewServer(testEngine(t), 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Discover the queryable universe.
+	resp, err := http.Get(ts.URL + "/keywords")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kws struct {
+		Topics []int `json:"topics"`
+		Count  int   `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&kws); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if kws.Count == 0 || len(kws.Topics) != kws.Count {
+		t.Fatalf("keywords = %+v", kws)
+	}
+
+	for _, strategy := range []string{"irr", "rr", ""} {
+		qr, resp := postQuery(t, ts, queryRequest{
+			Topics: kws.Topics[:2], K: 3, Strategy: strategy,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("strategy %q: status %s", strategy, resp.Status)
+		}
+		if len(qr.Seeds) != 3 {
+			t.Fatalf("strategy %q: %d seeds, want 3", strategy, len(qr.Seeds))
+		}
+		if qr.EstSpread <= 0 || qr.NumRRSets <= 0 {
+			t.Fatalf("strategy %q: empty result %+v", strategy, qr)
+		}
+		want := strategy
+		if want == "" {
+			want = "irr"
+		}
+		if qr.Strategy != want {
+			t.Fatalf("strategy echoed as %q, want %q", qr.Strategy, want)
+		}
+	}
+
+	// Malformed and invalid requests fail without crashing the pool.
+	if _, resp := postQuery(t, ts, queryRequest{Topics: []int{999}, K: 1}); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown keyword: status %s", resp.Status)
+	}
+	if _, resp := postQuery(t, ts, queryRequest{Topics: kws.Topics[:1], K: 1, Strategy: "bogus"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad strategy: status %s", resp.Status)
+	}
+	r, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %s", r.Status)
+	}
+}
+
+// TestServerConcurrentLoad hammers the bounded pool from more goroutines
+// than workers; every request must come back correct (run under -race this
+// also guards the Engine's concurrency story end to end).
+func TestServerConcurrentLoad(t *testing.T) {
+	srv := NewServer(testEngine(t), 2) // pool smaller than client count
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	want, resp := postQuery(t, ts, queryRequest{Topics: []int{0, 1}, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline: %s", resp.Status)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				qr, resp := postQuery(t, ts, queryRequest{Topics: []int{0, 1}, K: 2})
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %s", resp.Status)
+					return
+				}
+				if len(qr.Seeds) != len(want.Seeds) || qr.EstSpread != want.EstSpread {
+					t.Errorf("result diverged under load: %+v vs %+v", qr, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stats must reflect the traffic and a warm cache.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Served < 41 { // 1 baseline + 40 load
+		t.Fatalf("served = %d, want >= 41", stats.Served)
+	}
+	if stats.Workers != 2 || stats.InFlight != 0 {
+		t.Fatalf("pool state = %+v", stats)
+	}
+	if stats.IRRCache.Hits == 0 {
+		t.Fatalf("repeated workload produced no IRR cache hits: %+v", stats.IRRCache)
+	}
+}
+
+// TestDriveClosedLoop exercises the load driver against an in-process
+// server.
+func TestDriveClosedLoop(t *testing.T) {
+	srv := NewServer(testEngine(t), 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := drive(driveConfig{
+		Target:   ts.URL,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		K:        2,
+		MaxLen:   2,
+		Strategy: "irr",
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("driver completed no queries")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("driver saw %d errors", rep.Errors)
+	}
+	if rep.QPS <= 0 || rep.P95MS < rep.P50MS {
+		t.Fatalf("implausible report: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("repeated random workload over 6 topics should hit the cache")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	srv := NewServer(testEngine(t), 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}

@@ -3,6 +3,8 @@ package kbtim
 import (
 	"fmt"
 	"os"
+	"sort"
+	"sync"
 	"time"
 
 	"kbtim/internal/codec"
@@ -44,6 +46,12 @@ type Options struct {
 	Seed uint64
 	// Workers bounds sampling parallelism (0 = GOMAXPROCS).
 	Workers int
+	// CacheBytes is the byte budget of the in-memory segment cache placed
+	// in front of each opened index file (0 = no cache, every query reads
+	// from disk). Repeated-keyword workloads served by one Engine benefit
+	// the most; Result.IO reports per-query hits and misses and
+	// Engine.CacheStats the cache-wide view.
+	CacheBytes int64
 }
 
 func (o Options) wrisConfig() wris.Config {
@@ -79,14 +87,19 @@ func (o Options) sizing() wris.SizingMode {
 	return wris.SizeTheta
 }
 
-// IOStats summarizes the logical disk activity of one index query.
+// IOStats summarizes the logical disk activity of one index query. The
+// read counters cover reads that reached the index file; segments served
+// from the Engine's cache (Options.CacheBytes) appear only in CacheHits.
 type IOStats struct {
 	SequentialReads int64
 	RandomReads     int64
 	BytesRead       int64
+	CacheHits       int64
+	CacheMisses     int64
 }
 
 // Total returns the total logical read operations (the Table 6 metric).
+// Cache hits are excluded: they cost no I/O.
 func (s IOStats) Total() int64 { return s.SequentialReads + s.RandomReads }
 
 // Result reports one query run, for any of the processing strategies.
@@ -128,18 +141,30 @@ type BuildReport struct {
 
 // Engine answers KB-TIM queries over one dataset. Create with NewEngine,
 // then either query online (QueryWRIS) or build/open a disk index and use
-// QueryRR / QueryIRR. An Engine is safe for sequential use; concurrent
-// queries should use one Engine per goroutine sharing the same files.
+// QueryRR / QueryIRR.
+//
+// An Engine is safe for concurrent use: any number of goroutines may issue
+// QueryRR/QueryIRR (and the online queries) against one shared Engine.
+// Every query works on private scratch state and a per-query I/O scope, and
+// index files are read with positional reads only. OpenRRIndex,
+// OpenIRRIndex, and Close may also be called concurrently with queries,
+// but they are barriers, not hot swaps: they wait for in-flight queries to
+// finish, and queries arriving behind a pending Open/Close wait for it to
+// complete. Close is idempotent.
 type Engine struct {
 	ds    *Dataset
 	opts  Options
 	model prop.Model
 	cfg   wris.Config
 
-	rrFile  *diskio.File
-	rr      *rrindex.Index
-	irrFile *diskio.File
-	irr     *irrindex.Index
+	mu       sync.RWMutex // guards the fields below
+	closed   bool
+	rrFile   *diskio.File
+	rrCache  *diskio.CachedReader
+	rr       *rrindex.Index
+	irrFile  *diskio.File
+	irrCache *diskio.CachedReader
+	irr      *irrindex.Index
 }
 
 // NewEngine validates options and binds them to a dataset.
@@ -161,21 +186,28 @@ func NewEngine(ds *Dataset, opts Options) (*Engine, error) {
 	return &Engine{ds: ds, opts: opts, model: model, cfg: cfg}, nil
 }
 
-// Close releases any open index files.
+// Close releases any open index files. It waits for in-flight queries to
+// finish, and further Close calls are no-ops: double Close returns nil.
 func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	var first error
 	if e.rrFile != nil {
 		if err := e.rrFile.Close(); err != nil && first == nil {
 			first = err
 		}
-		e.rrFile, e.rr = nil, nil
 	}
 	if e.irrFile != nil {
 		if err := e.irrFile.Close(); err != nil && first == nil {
 			first = err
 		}
-		e.irrFile, e.irr = nil, nil
 	}
+	e.rrFile, e.rrCache, e.rr = nil, nil, nil
+	e.irrFile, e.irrCache, e.irr = nil, nil, nil
 	return first
 }
 
@@ -246,40 +278,115 @@ func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
 	}, nil
 }
 
-// OpenRRIndex attaches a previously built RR index for QueryRR.
-func (e *Engine) OpenRRIndex(path string) error {
+// openReader opens path and, when Options.CacheBytes is set, places a
+// segment cache in front of it.
+func (e *Engine) openReader(path string) (*diskio.File, *diskio.CachedReader, diskio.Segmented, error) {
 	f, err := diskio.Open(path, diskio.NewCounter())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var r diskio.Segmented = f
+	var cache *diskio.CachedReader
+	if e.opts.CacheBytes > 0 {
+		cache = diskio.NewCachedReader(f, e.opts.CacheBytes)
+		r = cache
+	}
+	return f, cache, r, nil
+}
+
+// OpenRRIndex attaches a previously built RR index for QueryRR, replacing
+// any index attached before. The new index is attached even when closing
+// the replaced index file fails; that failure is reported as the returned
+// error.
+func (e *Engine) OpenRRIndex(path string) error {
+	f, cache, r, err := e.openReader(path)
 	if err != nil {
 		return err
 	}
-	idx, err := rrindex.Open(f)
+	idx, err := rrindex.Open(r)
 	if err != nil {
 		f.Close()
 		return err
 	}
-	if old := e.rrFile; old != nil {
-		old.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("kbtim: engine is closed")
 	}
-	e.rrFile, e.rr = f, idx
+	old := e.rrFile
+	e.rrFile, e.rrCache, e.rr = f, cache, idx
+	e.mu.Unlock()
+	if old != nil {
+		if cerr := old.Close(); cerr != nil {
+			return fmt.Errorf("kbtim: closing replaced RR index file: %w", cerr)
+		}
+	}
 	return nil
 }
 
-// OpenIRRIndex attaches a previously built IRR index for QueryIRR.
+// OpenIRRIndex attaches a previously built IRR index for QueryIRR,
+// replacing any index attached before. The new index is attached even when
+// closing the replaced index file fails; that failure is reported as the
+// returned error.
 func (e *Engine) OpenIRRIndex(path string) error {
-	f, err := diskio.Open(path, diskio.NewCounter())
+	f, cache, r, err := e.openReader(path)
 	if err != nil {
 		return err
 	}
-	idx, err := irrindex.Open(f)
+	idx, err := irrindex.Open(r)
 	if err != nil {
 		f.Close()
 		return err
 	}
-	if old := e.irrFile; old != nil {
-		old.Close()
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		f.Close()
+		return fmt.Errorf("kbtim: engine is closed")
 	}
-	e.irrFile, e.irr = f, idx
+	old := e.irrFile
+	e.irrFile, e.irrCache, e.irr = f, cache, idx
+	e.mu.Unlock()
+	if old != nil {
+		if cerr := old.Close(); cerr != nil {
+			return fmt.Errorf("kbtim: closing replaced IRR index file: %w", cerr)
+		}
+	}
 	return nil
+}
+
+// CacheStats reports the segment-cache counters of the attached RR and IRR
+// indexes (zero values when no cache is configured or no index is open).
+func (e *Engine) CacheStats() (rr, irr diskio.CacheStats) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.rrCache != nil {
+		rr = e.rrCache.Stats()
+	}
+	if e.irrCache != nil {
+		irr = e.irrCache.Stats()
+	}
+	return rr, irr
+}
+
+// IndexedKeywords returns the sorted topic IDs present in the attached
+// index (IRR preferred, else RR; nil when no index is open). Serving
+// front-ends use it to expose the queryable keyword universe.
+func (e *Engine) IndexedKeywords() []int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var kws []int
+	switch {
+	case e.irr != nil:
+		kws = e.irr.Keywords()
+	case e.rr != nil:
+		kws = e.rr.Keywords()
+	default:
+		return nil
+	}
+	sort.Ints(kws)
+	return kws
 }
 
 // QueryWRIS answers q with online weighted sampling (§3.2) — the
@@ -314,8 +421,25 @@ func (e *Engine) QueryRIS(k int) (*Result, error) {
 	}, nil
 }
 
-// QueryRR answers q from the opened RR index (Algorithm 2).
+func ioStats(s diskio.Stats) IOStats {
+	return IOStats{
+		SequentialReads: s.SequentialReads,
+		RandomReads:     s.RandomReads,
+		BytesRead:       s.BytesRead,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+	}
+}
+
+// QueryRR answers q from the opened RR index (Algorithm 2). Safe for
+// concurrent use; the read lock is held for the duration of the query so
+// Open/Close cannot pull the index file out from under it.
 func (e *Engine) QueryRR(q Query) (*Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("kbtim: engine is closed")
+	}
 	if e.rr == nil {
 		return nil, fmt.Errorf("kbtim: no RR index opened (call OpenRRIndex)")
 	}
@@ -327,17 +451,20 @@ func (e *Engine) QueryRR(q Query) (*Result, error) {
 		Seeds:     r.Seeds,
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
-		IO: IOStats{
-			SequentialReads: r.IO.SequentialReads,
-			RandomReads:     r.IO.RandomReads,
-			BytesRead:       r.IO.BytesRead,
-		},
-		Elapsed: r.Elapsed,
+		IO:        ioStats(r.IO),
+		Elapsed:   r.Elapsed,
 	}, nil
 }
 
-// QueryIRR answers q from the opened IRR index (Algorithm 4).
+// QueryIRR answers q from the opened IRR index (Algorithm 4). Safe for
+// concurrent use; the read lock is held for the duration of the query so
+// Open/Close cannot pull the index file out from under it.
 func (e *Engine) QueryIRR(q Query) (*Result, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return nil, fmt.Errorf("kbtim: engine is closed")
+	}
 	if e.irr == nil {
 		return nil, fmt.Errorf("kbtim: no IRR index opened (call OpenIRRIndex)")
 	}
@@ -346,14 +473,10 @@ func (e *Engine) QueryIRR(q Query) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Seeds:     r.Seeds,
-		EstSpread: r.EstSpread,
-		NumRRSets: r.NumRRSets,
-		IO: IOStats{
-			SequentialReads: r.IO.SequentialReads,
-			RandomReads:     r.IO.RandomReads,
-			BytesRead:       r.IO.BytesRead,
-		},
+		Seeds:            r.Seeds,
+		EstSpread:        r.EstSpread,
+		NumRRSets:        r.NumRRSets,
+		IO:               ioStats(r.IO),
 		PartitionsLoaded: r.PartitionsLoaded,
 		Elapsed:          r.Elapsed,
 	}, nil

@@ -1,0 +1,222 @@
+package kbtim
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// concurrentEngine builds both indexes for the Figure 1 dataset and opens
+// them on one Engine with the given options.
+func concurrentEngine(t testing.TB, opts Options) *Engine {
+	t.Helper()
+	ds := exampleDataset(t)
+	eng, err := NewEngine(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	dir := t.TempDir()
+	rrPath := filepath.Join(dir, "ads.rr")
+	irrPath := filepath.Join(dir, "ads.irr")
+	if _, err := eng.BuildRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.OpenRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.OpenIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestEngineConcurrentQueries issues QueryIRR and QueryRR from many
+// goroutines against ONE shared Engine (run under -race) and checks every
+// result against the serial baseline.
+func TestEngineConcurrentQueries(t *testing.T) {
+	eng := concurrentEngine(t, exampleOptions())
+	queries := []Query{
+		{Topics: []int{0}, K: 2},
+		{Topics: []int{0, 1}, K: 2},
+		{Topics: []int{1, 2, 3}, K: 3},
+	}
+	type baseline struct{ rr, irr *Result }
+	base := make([]baseline, len(queries))
+	for i, q := range queries {
+		rr, err := eng.QueryRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irr, err := eng.QueryIRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = baseline{rr: rr, irr: irr}
+	}
+
+	const goroutines, rounds = 10, 8
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (g + i) % len(queries)
+				q := queries[qi]
+				irr, err := eng.QueryIRR(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(irr.Seeds, base[qi].irr.Seeds) || irr.EstSpread != base[qi].irr.EstSpread {
+					t.Errorf("IRR diverged for %v: %v/%v vs %v/%v",
+						q, irr.Seeds, irr.EstSpread, base[qi].irr.Seeds, base[qi].irr.EstSpread)
+					return
+				}
+				if g%2 == 0 {
+					rr, err := eng.QueryRR(q)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if !reflect.DeepEqual(rr.Seeds, base[qi].rr.Seeds) || rr.EstSpread != base[qi].rr.EstSpread {
+						t.Errorf("RR diverged for %v: %v/%v vs %v/%v",
+							q, rr.Seeds, rr.EstSpread, base[qi].rr.Seeds, base[qi].rr.EstSpread)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEngineCacheCorrectness runs the same workload with the segment cache
+// on and off: Seeds and EstSpread must be identical, and the cached engine
+// must both serve hits and save disk I/O on repetition.
+func TestEngineCacheCorrectness(t *testing.T) {
+	plain := concurrentEngine(t, exampleOptions())
+	opts := exampleOptions()
+	opts.CacheBytes = 1 << 20
+	cached := concurrentEngine(t, opts)
+
+	queries := []Query{
+		{Topics: []int{0}, K: 2},
+		{Topics: []int{0, 1}, K: 2},
+		{Topics: []int{1, 2, 3}, K: 3},
+		{Topics: []int{0, 1}, K: 2}, // repeat → cache hits
+	}
+	var hits int64
+	for _, q := range queries {
+		for _, kind := range []string{"rr", "irr"} {
+			var a, b *Result
+			var err error
+			if kind == "rr" {
+				if a, err = plain.QueryRR(q); err != nil {
+					t.Fatal(err)
+				}
+				if b, err = cached.QueryRR(q); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if a, err = plain.QueryIRR(q); err != nil {
+					t.Fatal(err)
+				}
+				if b, err = cached.QueryIRR(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) {
+				t.Fatalf("%s %v: seeds diverge with cache: %v vs %v", kind, q, a.Seeds, b.Seeds)
+			}
+			if a.EstSpread != b.EstSpread {
+				t.Fatalf("%s %v: spread diverges with cache: %v vs %v", kind, q, a.EstSpread, b.EstSpread)
+			}
+			if a.NumRRSets != b.NumRRSets || a.PartitionsLoaded != b.PartitionsLoaded {
+				t.Fatalf("%s %v: work metrics diverge with cache", kind, q)
+			}
+			if a.IO.CacheHits != 0 || a.IO.CacheMisses != 0 {
+				t.Fatalf("uncached engine reported cache traffic: %+v", a.IO)
+			}
+			hits += b.IO.CacheHits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("cached engine never hit its cache on a repeated workload")
+	}
+	rrStats, irrStats := cached.CacheStats()
+	if rrStats.Hits == 0 && irrStats.Hits == 0 {
+		t.Fatalf("CacheStats reports no hits: rr=%+v irr=%+v", rrStats, irrStats)
+	}
+	if p, pi := plain.CacheStats(); p.Hits+p.Misses+pi.Hits+pi.Misses != 0 {
+		t.Fatalf("uncached engine reported cache stats: %+v %+v", p, pi)
+	}
+
+	// A fully repeated query on a warm cache must cost zero disk reads.
+	warm, err := cached.QueryIRR(Query{Topics: []int{0, 1}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.IO.Total() != 0 || warm.IO.CacheHits == 0 {
+		t.Fatalf("warm query still paid disk I/O: %+v", warm.IO)
+	}
+}
+
+// TestEngineCloseIdempotent pins the Close contract: double Close returns
+// nil, queries after Close fail cleanly, and Open after Close is rejected.
+func TestEngineCloseIdempotent(t *testing.T) {
+	eng := concurrentEngine(t, exampleOptions())
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+	if _, err := eng.QueryIRR(Query{Topics: []int{0}, K: 1}); err == nil {
+		t.Fatal("query after Close succeeded")
+	}
+	if err := eng.OpenIRRIndex("nonexistent"); err == nil {
+		t.Fatal("open after Close succeeded")
+	}
+}
+
+// TestEngineConcurrentCloseAndQuery closes the engine while queries are in
+// flight (run under -race): in-flight queries finish normally, later ones
+// fail with the no-index error, and nothing races.
+func TestEngineConcurrentCloseAndQuery(t *testing.T) {
+	eng := concurrentEngine(t, exampleOptions())
+	q := Query{Topics: []int{0, 1}, K: 2}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 20; i++ {
+				if _, err := eng.QueryIRR(q); err != nil {
+					// Only the post-Close error is acceptable.
+					if err.Error() != "kbtim: engine is closed" {
+						t.Errorf("unexpected query error: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		if err := eng.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}()
+	close(start)
+	wg.Wait()
+}

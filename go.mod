@@ -1,0 +1,3 @@
+module kbtim
+
+go 1.24

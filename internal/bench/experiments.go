@@ -38,6 +38,7 @@ var Experiments = []struct {
 	{"ablation-delta", "Ablation: IRR partition size δ", AblationPartitionSize},
 	{"ablation-compress", "Ablation: compression on/off query impact", AblationCompression},
 	{"ablation-greedy", "Ablation: plain vs CELF-lazy greedy", AblationGreedy},
+	{"throughput", "Throughput: q/s vs workers vs segment cache (multi-client)", Throughput},
 }
 
 // Lookup finds an experiment by ID.

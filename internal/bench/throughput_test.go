@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunThroughputShape pins the acceptance contract of the serving
+// benchmark: queries/sec is reported for at least two worker counts, and
+// the cached configurations achieve a positive hit rate on the
+// repeated-keyword workload.
+func TestRunThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput smoke test skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	points, err := RunThroughput(env, Twitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerCounts := map[int]bool{}
+	cachedRows, uncachedRows := 0, 0
+	for _, p := range points {
+		if p.QPS <= 0 || p.Queries <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		workerCounts[p.Workers] = true
+		if p.CacheBytes > 0 {
+			cachedRows++
+			if p.HitRate <= 0 {
+				t.Fatalf("cached run has zero hit rate: %+v", p)
+			}
+		} else {
+			uncachedRows++
+			if p.HitRate != 0 {
+				t.Fatalf("uncached run reports a hit rate: %+v", p)
+			}
+			if p.DiskReads == 0 {
+				t.Fatalf("uncached run reports zero disk reads: %+v", p)
+			}
+		}
+	}
+	if len(workerCounts) < 2 {
+		t.Fatalf("need >= 2 worker counts, got %v", workerCounts)
+	}
+	if cachedRows == 0 || uncachedRows == 0 {
+		t.Fatalf("sweep must cover cache on and off: %d cached, %d uncached", cachedRows, uncachedRows)
+	}
+}
+
+// TestThroughputRenders checks the registry entry end to end.
+func TestThroughputRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput smoke test skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := Throughput(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"q/s", "hit-rate", "workers", "off"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}

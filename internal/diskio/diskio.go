@@ -18,14 +18,19 @@ import (
 	"sync"
 )
 
-// Stats is a snapshot of accumulated I/O counters.
+// Stats is a snapshot of accumulated I/O counters. The read counters cover
+// reads that actually reached the underlying medium; segments served from a
+// CachedReader appear only in CacheHits.
 type Stats struct {
 	SequentialReads int64 // reads continuing at the previous offset
 	RandomReads     int64 // reads requiring a seek
 	BytesRead       int64
+	CacheHits       int64 // segment reads served from a CachedReader
+	CacheMisses     int64 // segment reads that fell through to the medium
 }
 
-// Total returns the total number of logical read operations.
+// Total returns the total number of logical read operations (cache hits
+// excluded: they cost no I/O).
 func (s Stats) Total() int64 { return s.SequentialReads + s.RandomReads }
 
 // Add returns the element-wise sum of two snapshots.
@@ -34,6 +39,8 @@ func (s Stats) Add(o Stats) Stats {
 		SequentialReads: s.SequentialReads + o.SequentialReads,
 		RandomReads:     s.RandomReads + o.RandomReads,
 		BytesRead:       s.BytesRead + o.BytesRead,
+		CacheHits:       s.CacheHits + o.CacheHits,
+		CacheMisses:     s.CacheMisses + o.CacheMisses,
 	}
 }
 
@@ -58,6 +65,22 @@ func (c *Counter) Record(off int64, n int) {
 	}
 	c.stats.BytesRead += int64(n)
 	c.last = off + int64(n)
+}
+
+// RecordHit registers one segment read served from cache. Hits do not touch
+// the medium, so they count in no read bucket and leave adjacency alone.
+func (c *Counter) RecordHit() {
+	c.mu.Lock()
+	c.stats.CacheHits++
+	c.mu.Unlock()
+}
+
+// RecordMiss registers one segment read that fell through a cache to the
+// medium (the read itself is accounted separately by Record).
+func (c *Counter) RecordMiss() {
+	c.mu.Lock()
+	c.stats.CacheMisses++
+	c.mu.Unlock()
 }
 
 // Stats returns the current snapshot.
@@ -106,7 +129,8 @@ func Open(path string, counter *Counter) (*File, error) {
 	return &File{f: f, size: st.Size(), counter: counter}, nil
 }
 
-// ReadAt implements io.ReaderAt with accounting.
+// ReadAt implements io.ReaderAt with accounting. Zero-byte reads are not
+// I/O and are never recorded (Mem.ReadAt matches).
 func (f *File) ReadAt(p []byte, off int64) (int, error) {
 	n, err := f.f.ReadAt(p, off)
 	if n > 0 {
@@ -116,7 +140,15 @@ func (f *File) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // ReadSegment reads exactly length bytes at off, in one counted operation.
+// Safe for concurrent use: the read is positional (pread) and the counter
+// locks internally.
 func (f *File) ReadSegment(off, length int64) ([]byte, error) {
+	return f.readSegmentScoped(off, length, nil)
+}
+
+// readSegmentScoped is ReadSegment recording into an optional extra
+// per-scope counter alongside the file's own.
+func (f *File) readSegmentScoped(off, length int64, scope *Counter) ([]byte, error) {
 	if off < 0 || length < 0 || off+length > f.size {
 		return nil, fmt.Errorf("diskio: segment [%d,%d) outside file of %d bytes", off, off+length, f.size)
 	}
@@ -124,7 +156,12 @@ func (f *File) ReadSegment(off, length int64) ([]byte, error) {
 	if _, err := io.ReadFull(io.NewSectionReader(f.f, off, length), buf); err != nil {
 		return nil, err
 	}
-	f.counter.Record(off, int(length))
+	if length > 0 {
+		f.counter.Record(off, int(length))
+		if scope != nil {
+			scope.Record(off, int(length))
+		}
+	}
 	return buf, nil
 }
 
@@ -153,13 +190,17 @@ func NewMem(data []byte, counter *Counter) *Mem {
 	return &Mem{data: data, counter: counter}
 }
 
-// ReadAt implements io.ReaderAt with accounting.
+// ReadAt implements io.ReaderAt with accounting. As with File.ReadAt, an
+// I/O is recorded only when bytes actually move (n > 0), so the two
+// implementations account identically.
 func (m *Mem) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 || off >= int64(len(m.data)) {
 		return 0, io.EOF
 	}
 	n := copy(p, m.data[off:])
-	m.counter.Record(off, n)
+	if n > 0 {
+		m.counter.Record(off, n)
+	}
 	if n < len(p) {
 		return n, io.EOF
 	}
@@ -168,12 +209,23 @@ func (m *Mem) ReadAt(p []byte, off int64) (int, error) {
 
 // ReadSegment reads exactly length bytes at off in one counted operation.
 func (m *Mem) ReadSegment(off, length int64) ([]byte, error) {
+	return m.readSegmentScoped(off, length, nil)
+}
+
+// readSegmentScoped is ReadSegment recording into an optional extra
+// per-scope counter alongside the buffer's own.
+func (m *Mem) readSegmentScoped(off, length int64, scope *Counter) ([]byte, error) {
 	if off < 0 || length < 0 || off+length > int64(len(m.data)) {
 		return nil, fmt.Errorf("diskio: segment [%d,%d) outside buffer of %d bytes", off, off+length, len(m.data))
 	}
 	buf := make([]byte, length)
 	copy(buf, m.data[off:off+length])
-	m.counter.Record(off, int(length))
+	if length > 0 {
+		m.counter.Record(off, int(length))
+		if scope != nil {
+			scope.Record(off, int(length))
+		}
+	}
 	return buf, nil
 }
 
@@ -204,5 +256,7 @@ func (s Stats) Sub(o Stats) Stats {
 		SequentialReads: s.SequentialReads - o.SequentialReads,
 		RandomReads:     s.RandomReads - o.RandomReads,
 		BytesRead:       s.BytesRead - o.BytesRead,
+		CacheHits:       s.CacheHits - o.CacheHits,
+		CacheMisses:     s.CacheMisses - o.CacheMisses,
 	}
 }

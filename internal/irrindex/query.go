@@ -14,6 +14,11 @@ import (
 )
 
 // Index is an opened IRR index ready for incremental query processing.
+// After Open the header and directory are immutable; every Query builds its
+// own NRA state (kwState, heap, scratch buffers) and reads through a
+// per-query I/O scope, so one Index is safe for concurrent use by multiple
+// goroutines (provided the underlying reader supports concurrent positional
+// reads, as diskio.File, diskio.Mem, and diskio.CachedReader all do).
 type Index struct {
 	hdr  Header
 	dirs map[int]*KeywordDir
@@ -188,7 +193,10 @@ func (h *candHeap) Pop() interface{} {
 // COMPLETE and beats every unseen candidate (Σ_w kb[w]).
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	start := time.Now()
-	before := idx.r.Counter().Stats()
+	// All reads go through a per-query scope: precise I/O accounting with
+	// no shared cursor, so concurrent queries cannot race or pollute each
+	// other's sequential/random classification.
+	r := diskio.NewScope(idx.r)
 	alloc, err := idx.Plan(q)
 	if err != nil {
 		return nil, err
@@ -212,7 +220,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			lists:    make(map[uint32][]int32),
 			maxParts: len(d.Partitions),
 		}
-		if err := idx.loadIP(st); err != nil {
+		if err := idx.loadIP(r, st); err != nil {
 			return nil, fmt.Errorf("irrindex: keyword %d IP: %w", w, err)
 		}
 		states = append(states, st)
@@ -220,7 +228,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	// Prime with the first partition of every keyword.
 	for _, st := range states {
-		users, err := idx.loadNextPartition(st, pushed)
+		users, err := idx.loadNextPartition(r, st, pushed)
 		if err != nil {
 			return nil, err
 		}
@@ -313,7 +321,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
-				users, err := idx.loadNextPartition(st, pushed)
+				users, err := idx.loadNextPartition(r, st, pushed)
 				if err != nil {
 					return nil, err
 				}
@@ -340,14 +348,15 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		res.PartitionsLoaded += st.fetched
 	}
 	res.EstSpread = float64(res.Covered) / float64(total) * phiQ
-	res.IO = idx.r.Counter().Stats().Sub(before)
+	res.IO = r.Stats()
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-// loadIP reads and parses a keyword's first-occurrence table.
-func (idx *Index) loadIP(st *kwState) error {
-	buf, err := idx.r.ReadSegment(st.dir.IPOff, st.dir.IPLen)
+// loadIP reads and parses a keyword's first-occurrence table through the
+// query's scope.
+func (idx *Index) loadIP(r diskio.Segmented, st *kwState) error {
+	buf, err := r.ReadSegment(st.dir.IPOff, st.dir.IPLen)
 	if err != nil {
 		return err
 	}
@@ -374,14 +383,14 @@ func (idx *Index) loadIP(st *kwState) error {
 // merges its inverted lists (trimmed to IDs < θ^Q_w), counts its RR sets,
 // lowers kb, and returns the users not seen before (the caller pushes them
 // once their cross-keyword upper bound is known).
-func (idx *Index) loadNextPartition(st *kwState, pushed map[uint32]bool) ([]uint32, error) {
+func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[uint32]bool) ([]uint32, error) {
 	if st.next >= st.maxParts {
 		return nil, nil
 	}
 	p := st.dir.Partitions[st.next]
 	st.next++
 	st.fetched++
-	buf, err := idx.r.ReadSegment(p.Off, p.Len)
+	buf, err := r.ReadSegment(p.Off, p.Len)
 	if err != nil {
 		return nil, err
 	}

@@ -13,7 +13,12 @@ import (
 	"kbtim/internal/wris"
 )
 
-// Index is an opened RR index ready for query processing.
+// Index is an opened RR index ready for query processing. After Open the
+// header and directory are immutable and every Query works on its own
+// scratch state and a per-query I/O scope, so one Index is safe for
+// concurrent use by multiple goroutines (provided the underlying reader
+// supports concurrent positional reads, as diskio.File, diskio.Mem, and
+// diskio.CachedReader all do).
 type Index struct {
 	hdr  Header
 	dirs map[int]*KeywordDir
@@ -142,7 +147,10 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 // inverted file of every query keyword, then run greedy maximum coverage.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	start := time.Now()
-	before := idx.r.Counter().Stats()
+	// All reads go through a per-query scope: precise I/O accounting with
+	// no shared cursor, so concurrent queries cannot race or pollute each
+	// other's sequential/random classification.
+	r := diskio.NewScope(idx.r)
 	alloc, err := idx.Plan(q)
 	if err != nil {
 		return nil, err
@@ -157,10 +165,10 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		d := idx.dirs[w]
 		phiQ += d.Phi
 		t := alloc[w]
-		if err := idx.loadSets(d, t, &batch); err != nil {
+		if err := idx.loadSets(r, d, t, &batch); err != nil {
 			return nil, fmt.Errorf("rrindex: keyword %d sets: %w", w, err)
 		}
-		if err := idx.loadInverted(d, t, offset, lists); err != nil {
+		if err := idx.loadInverted(r, d, t, offset, lists); err != nil {
 			return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
 		}
 		offset += int32(t)
@@ -186,15 +194,15 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			Elapsed:   time.Since(start),
 		},
 		Marginals: res.Marginal,
-		IO:        idx.r.Counter().Stats().Sub(before),
+		IO:        r.Stats(),
 		Loaded:    loaded,
 	}, nil
 }
 
 // loadSets fetches the first t RR sets of keyword d in one sequential
-// segment read and appends them to batch.
-func (idx *Index) loadSets(d *KeywordDir, t int, batch *rrset.Batch) error {
-	buf, err := idx.r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
+// segment read through the query's scope and appends them to batch.
+func (idx *Index) loadSets(r diskio.Segmented, d *KeywordDir, t int, batch *rrset.Batch) error {
+	buf, err := r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
 	if err != nil {
 		return err
 	}
@@ -221,8 +229,8 @@ func (idx *Index) loadSets(d *KeywordDir, t int, batch *rrset.Batch) error {
 // loadInverted fetches the whole inverted region of keyword d (one
 // sequential read), keeps only RR IDs < t, applies the global ID offset,
 // and merges into lists.
-func (idx *Index) loadInverted(d *KeywordDir, t int, offset int32, lists [][]int32) error {
-	buf, err := idx.r.ReadSegment(d.InvOff, d.InvLen)
+func (idx *Index) loadInverted(r diskio.Segmented, d *KeywordDir, t int, offset int32, lists [][]int32) error {
+	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
 	if err != nil {
 		return err
 	}

@@ -37,8 +37,17 @@
 //	res, _ := eng.QueryIRR(kbtim.Query{Topics: []int{3, 17}, K: 10})
 //	fmt.Println(res.Seeds, res.EstSpread)
 //
+// # Serving
+//
+// An Engine is safe for concurrent use: one shared Engine serves any
+// number of goroutines, and Options.CacheBytes adds an in-memory segment
+// cache in front of the index files for repeated-keyword traffic.
+// cmd/kbtim-serve exposes an Engine over HTTP/JSON behind a bounded worker
+// pool and doubles as a closed-loop load driver.
+//
 // See examples/ for runnable programs and DESIGN.md for the full mapping
-// between the paper and this repository.
+// between the paper and this repository, the index file formats, and the
+// concurrency + cache architecture.
 package kbtim
 
 import (
