@@ -29,16 +29,17 @@ type driveConfig struct {
 
 // driveReport aggregates one load run.
 type driveReport struct {
-	Clients   int
-	Aborted   int // clients that gave up after persistent errors
-	Queries   int
-	Errors    int
-	Elapsed   time.Duration
-	QPS       float64
-	MeanMS    float64
-	P50MS     float64
-	P95MS     float64
-	CacheHits int64
+	Clients     int
+	Aborted     int // clients that gave up after persistent errors
+	Queries     int
+	Errors      int
+	Elapsed     time.Duration
+	QPS         float64
+	MeanMS      float64
+	P50MS       float64
+	P95MS       float64
+	CacheHits   int64
+	DecodedHits int64
 }
 
 // fetchKeywords asks the target server for its queryable topic universe.
@@ -97,6 +98,7 @@ func drive(cfg driveConfig) (*driveReport, error) {
 		latencies []float64 // milliseconds
 		errors    int
 		hits      int64
+		decHits   int64
 		aborted   bool
 	}
 	results := make([]clientResult, cfg.Clients)
@@ -151,6 +153,7 @@ func drive(cfg driveConfig) (*driveReport, error) {
 				consecutive = 0
 				results[c].latencies = append(results[c].latencies, time.Since(t0).Seconds()*1000)
 				results[c].hits += qr.IO.CacheHits
+				results[c].decHits += qr.IO.DecodedHits
 			}
 		}(c)
 	}
@@ -163,6 +166,7 @@ func drive(cfg driveConfig) (*driveReport, error) {
 		all = append(all, r.latencies...)
 		rep.Errors += r.errors
 		rep.CacheHits += r.hits
+		rep.DecodedHits += r.decHits
 		if r.aborted {
 			rep.Aborted++
 		}
@@ -201,5 +205,5 @@ func (r *driveReport) print() {
 	fmt.Printf("elapsed:    %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.1f queries/sec\n", r.QPS)
 	fmt.Printf("latency:    mean %.2f ms, p50 %.2f ms, p95 %.2f ms\n", r.MeanMS, r.P50MS, r.P95MS)
-	fmt.Printf("cache hits: %d (per-query segment cache, server side)\n", r.CacheHits)
+	fmt.Printf("cache hits: %d byte-level, %d decoded-object (server side)\n", r.CacheHits, r.DecodedHits)
 }

@@ -42,7 +42,8 @@ func main() {
 		rrPath      = flag.String("rr", "", "RR index path (optional)")
 		irrPath     = flag.String("irr", "", "IRR index path (optional)")
 		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
-		cacheMB     = flag.Int("cache-mb", 32, "segment cache budget per index, MiB (0 = no cache)")
+		cacheMB     = flag.Int("cache-mb", 32, "segment (byte) cache budget per index, MiB (0 = no cache)")
+		decodedMB   = flag.Int("decoded-cache-mb", 64, "decoded-object cache budget per index, MiB (0 = no cache)")
 		model       = flag.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = flag.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = flag.Int("K", 100, "system cap on Q.k")
@@ -91,6 +92,7 @@ func main() {
 		MaxThetaPerKeyword: *maxTheta,
 		Seed:               *seed,
 		CacheBytes:         int64(*cacheMB) << 20,
+		DecodedCacheBytes:  int64(*decodedMB) << 20,
 	})
 	if err != nil {
 		log.Fatalf("kbtim-serve: %v", err)
@@ -112,8 +114,8 @@ func main() {
 		pool = runtime.NumCPU()
 	}
 	srv := NewServer(eng, pool)
-	fmt.Printf("kbtim-serve: listening on %s (%d workers, %d MiB cache/index)\n",
-		*addr, pool, *cacheMB)
+	fmt.Printf("kbtim-serve: listening on %s (%d workers, %d MiB byte cache + %d MiB decoded cache per index)\n",
+		*addr, pool, *cacheMB, *decodedMB)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),

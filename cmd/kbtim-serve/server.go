@@ -10,6 +10,7 @@ import (
 
 	"kbtim"
 	"kbtim/internal/diskio"
+	"kbtim/internal/objcache"
 )
 
 // Server exposes a kbtim.Engine over HTTP/JSON. Query execution runs
@@ -23,6 +24,7 @@ type Server struct {
 
 	served   atomic.Int64 // queries answered successfully
 	failed   atomic.Int64 // queries rejected or errored
+	canceled atomic.Int64 // clients that disconnected before an answer
 	inflight atomic.Int64
 	totalNS  atomic.Int64 // summed service time of served queries
 }
@@ -66,6 +68,8 @@ type ioJSON struct {
 	BytesRead       int64 `json:"bytes_read"`
 	CacheHits       int64 `json:"cache_hits"`
 	CacheMisses     int64 `json:"cache_misses"`
+	DecodedHits     int64 `json:"decoded_hits"`
+	DecodedMisses   int64 `json:"decoded_misses"`
 }
 
 // queryResponse is the POST /query reply.
@@ -100,16 +104,42 @@ func toCacheJSON(s diskio.CacheStats) cacheJSON {
 	}
 }
 
+// decodedCacheJSON mirrors objcache.Stats for the wire.
+type decodedCacheJSON struct {
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Shared      int64   `json:"shared"` // singleflight-collapsed loads
+	HitRate     float64 `json:"hit_rate"`
+	Entries     int     `json:"entries"`
+	BytesCached int64   `json:"bytes_cached"`
+	BudgetBytes int64   `json:"budget_bytes"`
+}
+
+func toDecodedCacheJSON(s objcache.Stats) decodedCacheJSON {
+	return decodedCacheJSON{
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Shared:      s.Shared,
+		HitRate:     s.HitRate(),
+		Entries:     s.Entries,
+		BytesCached: s.BytesCached,
+		BudgetBytes: s.BudgetBytes,
+	}
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
-	UptimeSec     float64   `json:"uptime_sec"`
-	Workers       int       `json:"workers"`
-	InFlight      int64     `json:"in_flight"`
-	Served        int64     `json:"served"`
-	Failed        int64     `json:"failed"`
-	MeanLatencyMS float64   `json:"mean_latency_ms"`
-	RRCache       cacheJSON `json:"rr_cache"`
-	IRRCache      cacheJSON `json:"irr_cache"`
+	UptimeSec     float64          `json:"uptime_sec"`
+	Workers       int              `json:"workers"`
+	InFlight      int64            `json:"in_flight"`
+	Served        int64            `json:"served"`
+	Failed        int64            `json:"failed"`
+	Canceled      int64            `json:"canceled"`
+	MeanLatencyMS float64          `json:"mean_latency_ms"`
+	RRCache       cacheJSON        `json:"rr_cache"`
+	IRRCache      cacheJSON        `json:"irr_cache"`
+	RRDecoded     decodedCacheJSON `json:"rr_decoded_cache"`
+	IRRDecoded    decodedCacheJSON `json:"irr_decoded_cache"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -147,12 +177,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Wait for a pool slot; a closed connection abandons the wait.
+	// Wait for a pool slot; a closed connection abandons the wait. A client
+	// that hung up is not a server failure — it gets its own counter, and
+	// nothing is written to the dead connection.
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		s.failed.Add(1)
+		s.canceled.Add(1)
 		return
 	}
 	s.inflight.Add(1)
@@ -168,8 +200,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		res, err = s.eng.QueryIRR(q)
 	}
 	if err != nil {
+		if r.Context().Err() != nil {
+			// The client vanished mid-query; skip the error body.
+			s.canceled.Add(1)
+			return
+		}
 		s.failed.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if r.Context().Err() != nil {
+		// The client vanished while the query ran, even though it
+		// succeeded: don't write to the dead connection, don't count it
+		// served, and keep its latency out of the mean.
+		s.canceled.Add(1)
 		return
 	}
 	s.served.Add(1)
@@ -186,6 +230,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			BytesRead:       res.IO.BytesRead,
 			CacheHits:       res.IO.CacheHits,
 			CacheMisses:     res.IO.CacheMisses,
+			DecodedHits:     res.IO.DecodedHits,
+			DecodedMisses:   res.IO.DecodedMisses,
 		},
 		ElapsedMS: res.Elapsed.Seconds() * 1000,
 	})
@@ -210,15 +256,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		mean = float64(s.totalNS.Load()) / float64(served) / 1e6
 	}
 	rrCache, irrCache := s.eng.CacheStats()
+	rrDec, irrDec := s.eng.DecodedCacheStats()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeSec:     time.Since(s.started).Seconds(),
 		Workers:       cap(s.sem),
 		InFlight:      s.inflight.Load(),
 		Served:        served,
 		Failed:        s.failed.Load(),
+		Canceled:      s.canceled.Load(),
 		MeanLatencyMS: mean,
 		RRCache:       toCacheJSON(rrCache),
 		IRRCache:      toCacheJSON(irrCache),
+		RRDecoded:     toDecodedCacheJSON(rrDec),
+		IRRDecoded:    toDecodedCacheJSON(irrDec),
 	})
 }
 

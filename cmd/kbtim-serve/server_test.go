@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -232,5 +233,115 @@ func TestHealthz(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+// TestServerCanceledClients pins the disconnect accounting: a client that
+// hangs up while waiting for a pool slot (or mid-query) is counted in
+// `canceled`, not `failed`, and no response body is written to the dead
+// connection.
+func TestServerCanceledClients(t *testing.T) {
+	srv := NewServer(testEngine(t), 1)
+
+	// Occupy the only pool slot so the request must queue.
+	srv.sem <- struct{}{}
+	defer func() { <-srv.sem }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	body, _ := json.Marshal(queryRequest{Topics: []int{0}, K: 1})
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		srv.Handler().ServeHTTP(rec, req)
+		close(done)
+	}()
+	// Let the handler reach the pool wait, then hang up.
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler did not return after client cancellation")
+	}
+
+	if got := srv.canceled.Load(); got != 1 {
+		t.Fatalf("canceled = %d, want 1", got)
+	}
+	if got := srv.failed.Load(); got != 0 {
+		t.Fatalf("failed = %d, want 0 (disconnect is not a failure)", got)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("wrote %q to a dead connection", rec.Body.String())
+	}
+
+	// The counter is on /stats.
+	srec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(srec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	var stats statsResponse
+	if err := json.NewDecoder(srec.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Canceled != 1 || stats.Failed != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestServerDecodedCacheStats serves from an engine with the decoded-object
+// tier enabled: repeated queries must report per-query decoded hits and the
+// /stats decoded-cache section must fill in.
+func TestServerDecodedCacheStats(t *testing.T) {
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind: kbtim.TwitterLike, NumUsers: 300, AvgDegree: 6,
+		NumTopics: 6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon:            0.5,
+		K:                  10,
+		MaxThetaPerKeyword: 4000,
+		PartitionSize:      5,
+		Seed:               11,
+		DecodedCacheBytes:  8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	dir := t.TempDir()
+	irrPath := filepath.Join(dir, "t.irr")
+	if _, err := eng.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.OpenIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if _, resp := postQuery(t, ts, queryRequest{Topics: []int{0, 1}, K: 2}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold query: %s", resp.Status)
+	}
+	warm, resp := postQuery(t, ts, queryRequest{Topics: []int{0, 1}, K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm query: %s", resp.Status)
+	}
+	if warm.IO.DecodedHits == 0 || warm.IO.DecodedMisses != 0 {
+		t.Fatalf("warm query decoded traffic: %+v", warm.IO)
+	}
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.IRRDecoded.Hits == 0 || stats.IRRDecoded.Entries == 0 {
+		t.Fatalf("decoded cache stats empty: %+v", stats.IRRDecoded)
 	}
 }

@@ -5,11 +5,13 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kbtim/internal/codec"
 	"kbtim/internal/diskio"
 	"kbtim/internal/irrindex"
+	"kbtim/internal/objcache"
 	"kbtim/internal/prop"
 	"kbtim/internal/rng"
 	"kbtim/internal/rrindex"
@@ -52,6 +54,15 @@ type Options struct {
 	// the most; Result.IO reports per-query hits and misses and
 	// Engine.CacheStats the cache-wide view.
 	CacheBytes int64
+	// DecodedCacheBytes is the byte budget of the decoded-object cache
+	// attached to each opened index (0 = none). Where CacheBytes caches raw
+	// segment bytes, this tier caches the PARSED artifacts queries consume
+	// (RR-set batch prefixes, inverted tables, IP tables, partition
+	// blocks) with singleflight loading, so a hot keyword skips the disk
+	// AND the decode. Result.IO reports per-query decoded hits/misses and
+	// Engine.DecodedCacheStats the cache-wide view. The two tiers compose:
+	// a decoded miss still reads through the segment cache.
+	DecodedCacheBytes int64
 }
 
 func (o Options) wrisConfig() wris.Config {
@@ -89,13 +100,18 @@ func (o Options) sizing() wris.SizingMode {
 
 // IOStats summarizes the logical disk activity of one index query. The
 // read counters cover reads that reached the index file; segments served
-// from the Engine's cache (Options.CacheBytes) appear only in CacheHits.
+// from the Engine's segment cache (Options.CacheBytes) appear only in
+// CacheHits, and artifacts served from the decoded-object cache
+// (Options.DecodedCacheBytes) only in DecodedHits — a decoded hit incurs
+// neither a read nor a decode.
 type IOStats struct {
 	SequentialReads int64
 	RandomReads     int64
 	BytesRead       int64
 	CacheHits       int64
 	CacheMisses     int64
+	DecodedHits     int64
+	DecodedMisses   int64
 }
 
 // Total returns the total logical read operations (the Table 6 metric).
@@ -139,6 +155,36 @@ type BuildReport struct {
 	Elapsed time.Duration
 }
 
+// indexHandle is one attached index file with everything hanging off it:
+// the counted file, the optional cache tiers, and the parsed index (exactly
+// one of rr/irr is non-nil). Handles are reference-counted: the Engine
+// holds one reference while the handle is attached, and every in-flight
+// query holds one for its duration, so OpenRRIndex/OpenIRRIndex/Close swap
+// the Engine's pointer instantly and the file closes only when the last
+// query using it finishes. This is what lets queries proceed while a swap
+// (or another slow query) is in progress — there is no reader/writer lock
+// held across query execution for a pending writer to starve.
+type indexHandle struct {
+	refs  atomic.Int64
+	file  *diskio.File
+	cache *diskio.CachedReader
+	dec   *objcache.Cache
+	rr    *rrindex.Index
+	irr   *irrindex.Index
+}
+
+// release drops one reference; the last release closes the file and
+// returns its error (earlier releases return nil).
+func (h *indexHandle) release() error {
+	if h == nil {
+		return nil
+	}
+	if h.refs.Add(-1) == 0 {
+		return h.file.Close()
+	}
+	return nil
+}
+
 // Engine answers KB-TIM queries over one dataset. Create with NewEngine,
 // then either query online (QueryWRIS) or build/open a disk index and use
 // QueryRR / QueryIRR.
@@ -147,24 +193,54 @@ type BuildReport struct {
 // QueryRR/QueryIRR (and the online queries) against one shared Engine.
 // Every query works on private scratch state and a per-query I/O scope, and
 // index files are read with positional reads only. OpenRRIndex,
-// OpenIRRIndex, and Close may also be called concurrently with queries,
-// but they are barriers, not hot swaps: they wait for in-flight queries to
-// finish, and queries arriving behind a pending Open/Close wait for it to
-// complete. Close is idempotent.
+// OpenIRRIndex, and Close may also be called concurrently with queries and
+// are hot swaps: a query pins the index handle it started on (reference
+// counted, closed when its last user finishes) and the swap replaces the
+// Engine's handle without waiting, so no query ever stalls behind a pending
+// Open/Close and vice versa. Close is idempotent; after Close, new queries
+// fail immediately while in-flight ones finish on their pinned handles.
 type Engine struct {
 	ds    *Dataset
 	opts  Options
 	model prop.Model
 	cfg   wris.Config
 
-	mu       sync.RWMutex // guards the fields below
-	closed   bool
-	rrFile   *diskio.File
-	rrCache  *diskio.CachedReader
-	rr       *rrindex.Index
-	irrFile  *diskio.File
-	irrCache *diskio.CachedReader
-	irr      *irrindex.Index
+	// mu guards only the handle pointers and the closed flag, for O(1)
+	// pointer swaps and acquisitions — it is never held across a query or
+	// any I/O, so it cannot be the writer-starvation lock the previous
+	// whole-query RWMutex was.
+	mu     sync.Mutex
+	closed bool
+	rrH    *indexHandle
+	irrH   *indexHandle
+}
+
+// acquireRR pins the current RR handle for one query.
+func (e *Engine) acquireRR() (*indexHandle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("kbtim: engine is closed")
+	}
+	if e.rrH == nil {
+		return nil, fmt.Errorf("kbtim: no RR index opened (call OpenRRIndex)")
+	}
+	e.rrH.refs.Add(1)
+	return e.rrH, nil
+}
+
+// acquireIRR pins the current IRR handle for one query.
+func (e *Engine) acquireIRR() (*indexHandle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("kbtim: engine is closed")
+	}
+	if e.irrH == nil {
+		return nil, fmt.Errorf("kbtim: no IRR index opened (call OpenIRRIndex)")
+	}
+	e.irrH.refs.Add(1)
+	return e.irrH, nil
 }
 
 // NewEngine validates options and binds them to a dataset.
@@ -186,28 +262,25 @@ func NewEngine(ds *Dataset, opts Options) (*Engine, error) {
 	return &Engine{ds: ds, opts: opts, model: model, cfg: cfg}, nil
 }
 
-// Close releases any open index files. It waits for in-flight queries to
-// finish, and further Close calls are no-ops: double Close returns nil.
+// Close detaches any open index files and marks the engine closed; further
+// Close calls are no-ops (double Close returns nil). Queries already in
+// flight finish on their pinned handles — each file actually closes when
+// its last user releases it, and a close error surfacing on such a deferred
+// release is dropped (the files are read-only, so nothing is lost).
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil
 	}
 	e.closed = true
-	var first error
-	if e.rrFile != nil {
-		if err := e.rrFile.Close(); err != nil && first == nil {
-			first = err
-		}
+	rrH, irrH := e.rrH, e.irrH
+	e.rrH, e.irrH = nil, nil
+	e.mu.Unlock()
+	first := rrH.release()
+	if err := irrH.release(); err != nil && first == nil {
+		first = err
 	}
-	if e.irrFile != nil {
-		if err := e.irrFile.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	e.rrFile, e.rrCache, e.rr = nil, nil, nil
-	e.irrFile, e.irrCache, e.irr = nil, nil, nil
 	return first
 }
 
@@ -278,80 +351,93 @@ func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
 	}, nil
 }
 
-// openReader opens path and, when Options.CacheBytes is set, places a
-// segment cache in front of it.
-func (e *Engine) openReader(path string) (*diskio.File, *diskio.CachedReader, diskio.Segmented, error) {
+// openHandle opens path into a fresh handle (refs=1, the caller's
+// reference), wiring in the cache tiers Options ask for.
+func (e *Engine) openHandle(path string) (*indexHandle, diskio.Segmented, error) {
 	f, err := diskio.Open(path, diskio.NewCounter())
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
+	h := &indexHandle{file: f}
+	h.refs.Store(1)
 	var r diskio.Segmented = f
-	var cache *diskio.CachedReader
 	if e.opts.CacheBytes > 0 {
-		cache = diskio.NewCachedReader(f, e.opts.CacheBytes)
-		r = cache
+		h.cache = diskio.NewCachedReader(f, e.opts.CacheBytes)
+		r = h.cache
 	}
-	return f, cache, r, nil
+	if e.opts.DecodedCacheBytes > 0 {
+		h.dec = objcache.New(e.opts.DecodedCacheBytes)
+	}
+	return h, r, nil
+}
+
+// attach swaps a fully constructed handle into *slot, returning the handle
+// it replaced (not yet released). Fails without attaching when the engine
+// is closed.
+func (e *Engine) attach(slot **indexHandle, h *indexHandle) (*indexHandle, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("kbtim: engine is closed")
+	}
+	old := *slot
+	*slot = h
+	return old, nil
 }
 
 // OpenRRIndex attaches a previously built RR index for QueryRR, replacing
-// any index attached before. The new index is attached even when closing
-// the replaced index file fails; that failure is reported as the returned
-// error.
+// any index attached before. The swap is immediate — queries in flight on
+// the replaced index finish undisturbed on their pinned handle, and its
+// file closes when the last of them releases it. A close error is reported
+// when the replaced index was idle (the swap itself was its last user);
+// the new index stays attached either way.
 func (e *Engine) OpenRRIndex(path string) error {
-	f, cache, r, err := e.openReader(path)
+	h, r, err := e.openHandle(path)
 	if err != nil {
 		return err
 	}
-	idx, err := rrindex.Open(r)
+	h.rr, err = rrindex.Open(r)
 	if err != nil {
-		f.Close()
+		h.file.Close()
 		return err
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		f.Close()
-		return fmt.Errorf("kbtim: engine is closed")
+	if h.dec != nil {
+		h.rr.SetDecodedCache(h.dec)
 	}
-	old := e.rrFile
-	e.rrFile, e.rrCache, e.rr = f, cache, idx
-	e.mu.Unlock()
-	if old != nil {
-		if cerr := old.Close(); cerr != nil {
-			return fmt.Errorf("kbtim: closing replaced RR index file: %w", cerr)
-		}
+	old, err := e.attach(&e.rrH, h)
+	if err != nil {
+		h.file.Close()
+		return err
+	}
+	if cerr := old.release(); cerr != nil {
+		return fmt.Errorf("kbtim: closing replaced RR index file: %w", cerr)
 	}
 	return nil
 }
 
 // OpenIRRIndex attaches a previously built IRR index for QueryIRR,
-// replacing any index attached before. The new index is attached even when
-// closing the replaced index file fails; that failure is reported as the
-// returned error.
+// replacing any index attached before. Swap semantics are identical to
+// OpenRRIndex's.
 func (e *Engine) OpenIRRIndex(path string) error {
-	f, cache, r, err := e.openReader(path)
+	h, r, err := e.openHandle(path)
 	if err != nil {
 		return err
 	}
-	idx, err := irrindex.Open(r)
+	h.irr, err = irrindex.Open(r)
 	if err != nil {
-		f.Close()
+		h.file.Close()
 		return err
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		f.Close()
-		return fmt.Errorf("kbtim: engine is closed")
+	if h.dec != nil {
+		h.irr.SetDecodedCache(h.dec)
 	}
-	old := e.irrFile
-	e.irrFile, e.irrCache, e.irr = f, cache, idx
-	e.mu.Unlock()
-	if old != nil {
-		if cerr := old.Close(); cerr != nil {
-			return fmt.Errorf("kbtim: closing replaced IRR index file: %w", cerr)
-		}
+	old, err := e.attach(&e.irrH, h)
+	if err != nil {
+		h.file.Close()
+		return err
+	}
+	if cerr := old.release(); cerr != nil {
+		return fmt.Errorf("kbtim: closing replaced IRR index file: %w", cerr)
 	}
 	return nil
 }
@@ -359,13 +445,30 @@ func (e *Engine) OpenIRRIndex(path string) error {
 // CacheStats reports the segment-cache counters of the attached RR and IRR
 // indexes (zero values when no cache is configured or no index is open).
 func (e *Engine) CacheStats() (rr, irr diskio.CacheStats) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.rrCache != nil {
-		rr = e.rrCache.Stats()
+	e.mu.Lock()
+	rrH, irrH := e.rrH, e.irrH
+	e.mu.Unlock()
+	if rrH != nil && rrH.cache != nil {
+		rr = rrH.cache.Stats()
 	}
-	if e.irrCache != nil {
-		irr = e.irrCache.Stats()
+	if irrH != nil && irrH.cache != nil {
+		irr = irrH.cache.Stats()
+	}
+	return rr, irr
+}
+
+// DecodedCacheStats reports the decoded-object-cache counters of the
+// attached RR and IRR indexes (zero values when Options.DecodedCacheBytes
+// is unset or no index is open).
+func (e *Engine) DecodedCacheStats() (rr, irr objcache.Stats) {
+	e.mu.Lock()
+	rrH, irrH := e.rrH, e.irrH
+	e.mu.Unlock()
+	if rrH != nil && rrH.dec != nil {
+		rr = rrH.dec.Stats()
+	}
+	if irrH != nil && irrH.dec != nil {
+		irr = irrH.dec.Stats()
 	}
 	return rr, irr
 }
@@ -374,14 +477,15 @@ func (e *Engine) CacheStats() (rr, irr diskio.CacheStats) {
 // index (IRR preferred, else RR; nil when no index is open). Serving
 // front-ends use it to expose the queryable keyword universe.
 func (e *Engine) IndexedKeywords() []int {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	e.mu.Lock()
+	rrH, irrH := e.rrH, e.irrH
+	e.mu.Unlock()
 	var kws []int
 	switch {
-	case e.irr != nil:
-		kws = e.irr.Keywords()
-	case e.rr != nil:
-		kws = e.rr.Keywords()
+	case irrH != nil:
+		kws = irrH.irr.Keywords()
+	case rrH != nil:
+		kws = rrH.rr.Keywords()
 	default:
 		return nil
 	}
@@ -421,29 +525,28 @@ func (e *Engine) QueryRIS(k int) (*Result, error) {
 	}, nil
 }
 
-func ioStats(s diskio.Stats) IOStats {
+func ioStats(s diskio.Stats, decHits, decMisses int64) IOStats {
 	return IOStats{
 		SequentialReads: s.SequentialReads,
 		RandomReads:     s.RandomReads,
 		BytesRead:       s.BytesRead,
 		CacheHits:       s.CacheHits,
 		CacheMisses:     s.CacheMisses,
+		DecodedHits:     decHits,
+		DecodedMisses:   decMisses,
 	}
 }
 
 // QueryRR answers q from the opened RR index (Algorithm 2). Safe for
-// concurrent use; the read lock is held for the duration of the query so
-// Open/Close cannot pull the index file out from under it.
+// concurrent use; the query pins the handle it starts on, so a concurrent
+// Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryRR(q Query) (*Result, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return nil, fmt.Errorf("kbtim: engine is closed")
+	h, err := e.acquireRR()
+	if err != nil {
+		return nil, err
 	}
-	if e.rr == nil {
-		return nil, fmt.Errorf("kbtim: no RR index opened (call OpenRRIndex)")
-	}
-	r, err := e.rr.Query(q.internal())
+	defer h.release()
+	r, err := h.rr.Query(q.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -451,24 +554,21 @@ func (e *Engine) QueryRR(q Query) (*Result, error) {
 		Seeds:     r.Seeds,
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
-		IO:        ioStats(r.IO),
+		IO:        ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		Elapsed:   r.Elapsed,
 	}, nil
 }
 
 // QueryIRR answers q from the opened IRR index (Algorithm 4). Safe for
-// concurrent use; the read lock is held for the duration of the query so
-// Open/Close cannot pull the index file out from under it.
+// concurrent use; the query pins the handle it starts on, so a concurrent
+// Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryIRR(q Query) (*Result, error) {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	if e.closed {
-		return nil, fmt.Errorf("kbtim: engine is closed")
+	h, err := e.acquireIRR()
+	if err != nil {
+		return nil, err
 	}
-	if e.irr == nil {
-		return nil, fmt.Errorf("kbtim: no IRR index opened (call OpenIRRIndex)")
-	}
-	r, err := e.irr.Query(q.internal())
+	defer h.release()
+	r, err := h.irr.Query(q.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -476,7 +576,7 @@ func (e *Engine) QueryIRR(q Query) (*Result, error) {
 		Seeds:            r.Seeds,
 		EstSpread:        r.EstSpread,
 		NumRRSets:        r.NumRRSets,
-		IO:               ioStats(r.IO),
+		IO:               ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		PartitionsLoaded: r.PartitionsLoaded,
 		Elapsed:          r.Elapsed,
 	}, nil

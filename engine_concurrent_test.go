@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 )
 
 // concurrentEngine builds both indexes for the Figure 1 dataset and opens
@@ -96,9 +97,10 @@ func TestEngineConcurrentQueries(t *testing.T) {
 	wg.Wait()
 }
 
-// TestEngineCacheCorrectness runs the same workload with the segment cache
-// on and off: Seeds and EstSpread must be identical, and the cached engine
-// must both serve hits and save disk I/O on repetition.
+// TestEngineCacheCorrectness runs the same workload with caching off, with
+// the byte-level segment cache, and with the decoded-object cache: Seeds
+// and EstSpread must be identical everywhere, and each cache tier must both
+// serve hits and save work on repetition.
 func TestEngineCacheCorrectness(t *testing.T) {
 	plain := concurrentEngine(t, exampleOptions())
 	opts := exampleOptions()
@@ -165,6 +167,147 @@ func TestEngineCacheCorrectness(t *testing.T) {
 	if warm.IO.Total() != 0 || warm.IO.CacheHits == 0 {
 		t.Fatalf("warm query still paid disk I/O: %+v", warm.IO)
 	}
+
+	// Decoded-object tier: same workload, identical results, and a warm
+	// query costs zero reads AND zero decodes.
+	dopts := exampleOptions()
+	dopts.DecodedCacheBytes = 1 << 20
+	decoded := concurrentEngine(t, dopts)
+	var decHits int64
+	for _, q := range queries {
+		for _, kind := range []string{"rr", "irr"} {
+			var a, b *Result
+			var err error
+			if kind == "rr" {
+				if a, err = plain.QueryRR(q); err != nil {
+					t.Fatal(err)
+				}
+				if b, err = decoded.QueryRR(q); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if a, err = plain.QueryIRR(q); err != nil {
+					t.Fatal(err)
+				}
+				if b, err = decoded.QueryIRR(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) {
+				t.Fatalf("%s %v: seeds diverge with decoded cache: %v vs %v", kind, q, a.Seeds, b.Seeds)
+			}
+			if a.EstSpread != b.EstSpread {
+				t.Fatalf("%s %v: spread diverges with decoded cache: %v vs %v", kind, q, a.EstSpread, b.EstSpread)
+			}
+			if a.NumRRSets != b.NumRRSets || a.PartitionsLoaded != b.PartitionsLoaded {
+				t.Fatalf("%s %v: work metrics diverge with decoded cache", kind, q)
+			}
+			if a.IO.DecodedHits != 0 || a.IO.DecodedMisses != 0 {
+				t.Fatalf("uncached engine reported decoded traffic: %+v", a.IO)
+			}
+			decHits += b.IO.DecodedHits
+		}
+	}
+	if decHits == 0 {
+		t.Fatal("decoded engine never hit its cache on a repeated workload")
+	}
+	rrDec, irrDec := decoded.DecodedCacheStats()
+	if rrDec.Hits == 0 || irrDec.Hits == 0 {
+		t.Fatalf("DecodedCacheStats reports no hits: rr=%+v irr=%+v", rrDec, irrDec)
+	}
+	if p, pi := plain.DecodedCacheStats(); p.Hits+p.Misses+pi.Hits+pi.Misses != 0 {
+		t.Fatalf("uncached engine reported decoded stats: %+v %+v", p, pi)
+	}
+	dwarm, err := decoded.QueryIRR(Query{Topics: []int{0, 1}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dwarm.IO.Total() != 0 || dwarm.IO.DecodedMisses != 0 || dwarm.IO.DecodedHits == 0 {
+		t.Fatalf("warm decoded query still paid: %+v", dwarm.IO)
+	}
+}
+
+// TestEngineQueriesProceedDuringSwap pins the writer-starvation fix: with a
+// query in flight (simulated by holding a handle reference, exactly what a
+// running query holds), OpenRRIndex must complete immediately instead of
+// waiting, new queries must run on the new index while the old handle is
+// still alive, and the replaced file must close only when the last user
+// releases it.
+func TestEngineQueriesProceedDuringSwap(t *testing.T) {
+	eng := concurrentEngine(t, exampleOptions())
+	dir := t.TempDir()
+	q := Query{Topics: []int{0, 1}, K: 2}
+
+	// An "in-flight query": acquire the current handle as QueryRR does.
+	old, err := eng.acquireRR()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The swap must not block behind the in-flight query.
+	swapPath := filepath.Join(dir, "swap.rr")
+	if _, err := eng.BuildRRIndex(swapPath); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- eng.OpenRRIndex(swapPath) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("OpenRRIndex stalled behind an in-flight query")
+	}
+
+	// New queries run on the swapped-in index while the old handle lives.
+	if _, err := eng.QueryRR(q); err != nil {
+		t.Fatal(err)
+	}
+	// The old handle still answers queries (pinned index semantics), and
+	// its file is still open because the in-flight reference holds it.
+	if _, err := old.rr.Query(q.internal()); err != nil {
+		t.Fatalf("in-flight query lost its index mid-swap: %v", err)
+	}
+	if got := old.refs.Load(); got != 1 {
+		t.Fatalf("old handle refs = %d, want 1 (the in-flight query)", got)
+	}
+	// Last release closes the replaced file; afterwards reads fail.
+	if err := old.release(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := old.rr.Query(q.internal()); err == nil {
+		t.Fatal("query on a fully released handle should fail (file closed)")
+	}
+
+	// Many concurrent queries + many concurrent swaps: nothing stalls,
+	// nothing races (run under -race), and every query succeeds.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := eng.QueryRR(q); err != nil {
+					t.Errorf("query during swaps: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		if err := eng.OpenRRIndex(swapPath); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestEngineCloseIdempotent pins the Close contract: double Close returns

@@ -10,14 +10,36 @@ import (
 	"kbtim/internal/codec"
 	"kbtim/internal/diskio"
 	"kbtim/internal/irrindex"
+	"kbtim/internal/objcache"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
 )
 
-// ThroughputPoint is one (cache budget, worker count) measurement of the
+// cacheMode is one point of the cache axis: which tier is enabled and with
+// what budget. "off" reads and decodes everything per query; "byte" is the
+// segment-byte LRU (skips the disk, still pays the decode); "object" is the
+// decoded-object cache with singleflight (skips the disk AND the decode).
+type cacheMode struct {
+	Kind  string // "off" | "byte" | "object"
+	Bytes int64
+}
+
+func (m cacheMode) label() string {
+	switch {
+	case m.Kind == "off":
+		return "off"
+	case m.Bytes >= 1<<20:
+		return fmt.Sprintf("%s:%dMiB", m.Kind, m.Bytes>>20)
+	default:
+		return fmt.Sprintf("%s:%dKiB", m.Kind, m.Bytes>>10)
+	}
+}
+
+// ThroughputPoint is one (cache mode, worker count) measurement of the
 // multi-client serving experiment.
 type ThroughputPoint struct {
 	Family     Family
+	CacheKind  string // "off" | "byte" | "object"
 	CacheBytes int64
 	Workers    int
 	Queries    int
@@ -28,15 +50,25 @@ type ThroughputPoint struct {
 	DiskReads  int64   // reads that actually reached the file
 }
 
-// throughputCaches returns the cache-budget sweep (always starting at 0 =
-// uncached, the pre-cache baseline). Budgets are sized against the default
-// indexes (tens of MB): the small budget caches the hottest keywords'
-// segments, the large one approaches full residency.
-func throughputCaches(env *Env) []int64 {
+// throughputModes returns the cache axis (always starting at "off", the
+// pre-cache baseline). Budgets are sized against the default indexes (tens
+// of MB), and the byte and object tiers get the same budget so the
+// comparison isolates WHAT is cached, not how much memory is spent.
+func throughputModes(env *Env) []cacheMode {
 	if env.Cfg.Full {
-		return []int64{0, 8 << 20, 64 << 20}
+		return []cacheMode{
+			{Kind: "off"},
+			{Kind: "byte", Bytes: 8 << 20},
+			{Kind: "byte", Bytes: 64 << 20},
+			{Kind: "object", Bytes: 8 << 20},
+			{Kind: "object", Bytes: 64 << 20},
+		}
 	}
-	return []int64{0, 16 << 20}
+	return []cacheMode{
+		{Kind: "off"},
+		{Kind: "byte", Bytes: 16 << 20},
+		{Kind: "object", Bytes: 16 << 20},
+	}
 }
 
 // throughputWorkers returns the closed-loop client sweep.
@@ -51,14 +83,14 @@ func throughputWorkers(env *Env) []int {
 // closed-loop workers (each worker issues its next query as soon as the
 // previous one returns) across the cache and worker sweeps. The workload
 // cycles a fixed query list, so it has the repeated-keyword locality a
-// production ad server sees, and the cache rows report their hit rate.
+// production ad server sees, and the cached rows report their hit rate.
 func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 	_, ent, err := env.IRRIndex(f, env.defaultSize(f), wris.SizeTheta, codec.Delta, 0)
 	if err != nil {
 		return nil, err
 	}
 	// A short workload cycled several times per worker: advertisers re-ask
-	// popular keywords, which is exactly the locality the cache targets.
+	// popular keywords, which is exactly the locality the caches target.
 	queries, err := env.Queries(env.Cfg.QueriesPerPoint*2, env.Cfg.DefaultLen, env.Cfg.DefaultK)
 	if err != nil {
 		return nil, err
@@ -71,39 +103,51 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 	// Read the index through once up front so every configuration runs
 	// against a uniformly warm OS page cache (the page cache is per-inode,
 	// not per-handle, so later rows would otherwise benefit from pages the
-	// earlier rows faulted in). The rows then differ only in segment-cache
+	// earlier rows faulted in). The rows then differ only in cache-tier
 	// state, which is what the sweep measures.
 	if _, err := os.ReadFile(ent.path); err != nil {
 		return nil, err
 	}
 
 	var points []ThroughputPoint
-	for _, cacheBytes := range throughputCaches(env) {
-		// A fresh handle and segment cache per configuration keeps the
-		// rows' cache state independent.
+	for _, mode := range throughputModes(env) {
+		// A fresh handle and cache per configuration keeps the rows' cache
+		// state independent.
 		file, err := diskio.Open(ent.path, diskio.NewCounter())
 		if err != nil {
 			return nil, err
 		}
 		var reader diskio.Segmented = file
-		var cache *diskio.CachedReader
-		if cacheBytes > 0 {
-			cache = diskio.NewCachedReader(file, cacheBytes)
-			reader = cache
+		var byteCache *diskio.CachedReader
+		if mode.Kind == "byte" {
+			byteCache = diskio.NewCachedReader(file, mode.Bytes)
+			reader = byteCache
 		}
 		idx, err := irrindex.Open(reader)
 		if err != nil {
 			file.Close()
 			return nil, err
 		}
+		var objCache *objcache.Cache
+		if mode.Kind == "object" {
+			objCache = objcache.New(mode.Bytes)
+			idx.SetDecodedCache(objCache)
+		}
 		for _, workers := range throughputWorkers(env) {
-			if cache != nil {
-				cache.Purge()
+			if byteCache != nil {
+				byteCache.Purge()
+			}
+			if objCache != nil {
+				objCache.Purge()
 			}
 			file.Counter().Reset()
-			var cacheBefore diskio.CacheStats
-			if cache != nil {
-				cacheBefore = cache.Stats() // Purge keeps counters; diff per row
+			var byteBefore diskio.CacheStats
+			var objBefore objcache.Stats
+			if byteCache != nil {
+				byteBefore = byteCache.Stats() // Purge keeps counters; diff per row
+			}
+			if objCache != nil {
+				objBefore = objCache.Stats()
 			}
 			point, err := runClosedLoop(idx, queries, workers, queriesPerWorker)
 			if err != nil {
@@ -111,11 +155,20 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 				return nil, err
 			}
 			point.Family = f
-			point.CacheBytes = cacheBytes
-			if cache != nil {
-				after := cache.Stats()
-				hits := after.Hits - cacheBefore.Hits
-				misses := after.Misses - cacheBefore.Misses
+			point.CacheKind = mode.Kind
+			point.CacheBytes = mode.Bytes
+			if byteCache != nil {
+				after := byteCache.Stats()
+				hits := after.Hits - byteBefore.Hits
+				misses := after.Misses - byteBefore.Misses
+				if hits+misses > 0 {
+					point.HitRate = float64(hits) / float64(hits+misses)
+				}
+			}
+			if objCache != nil {
+				after := objCache.Stats()
+				hits := after.Hits - objBefore.Hits + after.Shared - objBefore.Shared
+				misses := after.Misses - objBefore.Misses
 				if hits+misses > 0 {
 					point.HitRate = float64(hits) / float64(hits+misses)
 				}
@@ -182,9 +235,10 @@ func runClosedLoop(idx *irrindex.Index, queries []topic.Query, workers, perWorke
 }
 
 // Throughput renders the multi-client serving experiment: queries/sec of
-// one shared IRR index vs. closed-loop worker count vs. segment-cache
-// budget. This is the post-paper scaling axis: §6 measures single-query
-// latency, while a production ad platform serves many advertisers at once.
+// one shared IRR index vs. closed-loop worker count vs. cache tier (none,
+// byte-level segments, decoded objects). This is the post-paper scaling
+// axis: §6 measures single-query latency, while a production ad platform
+// serves many advertisers at once.
 func Throughput(w io.Writer, env *Env) error {
 	t := newTable("Throughput: shared IRR index under concurrent closed-loop clients",
 		"dataset", "cache", "workers", "queries", "q/s", "mean-ms", "hit-rate", "disk-reads")
@@ -194,18 +248,12 @@ func Throughput(w io.Writer, env *Env) error {
 			return err
 		}
 		for _, p := range points {
-			cacheLabel := "off"
-			switch {
-			case p.CacheBytes >= 1<<20:
-				cacheLabel = fmt.Sprintf("%dMiB", p.CacheBytes>>20)
-			case p.CacheBytes > 0:
-				cacheLabel = fmt.Sprintf("%dKiB", p.CacheBytes>>10)
-			}
-			t.add(string(f), cacheLabel, p.Workers, p.Queries,
+			t.add(string(f), cacheMode{Kind: p.CacheKind, Bytes: p.CacheBytes}.label(),
+				p.Workers, p.Queries,
 				fmt.Sprintf("%.1f", p.QPS), fmt.Sprintf("%.2f", p.MeanMS),
 				fmt.Sprintf("%.2f", p.HitRate), p.DiskReads)
 		}
 	}
-	t.addf("(closed loop: every worker keeps one query in flight; cache hits bypass disk entirely)")
+	t.addf("(closed loop: every worker keeps one query in flight; byte hits skip the disk, object hits skip the disk and the decode)")
 	return t.write(w)
 }

@@ -2,13 +2,17 @@ package irrindex
 
 import (
 	"bytes"
+	"fmt"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"kbtim/internal/codec"
 	"kbtim/internal/diskio"
 	"kbtim/internal/gen"
 	"kbtim/internal/graph"
+	"kbtim/internal/objcache"
 	"kbtim/internal/prop"
 	"kbtim/internal/rrindex"
 	"kbtim/internal/topic"
@@ -522,5 +526,191 @@ func TestTriggeringModelEquivalence(t *testing.T) {
 		if a.Marginals[i] != b.Marginals[i] {
 			t.Fatalf("WIC marginals %v vs %v", a.Marginals, b.Marginals)
 		}
+	}
+}
+
+// TestTheorem3ZeroMarginalPadding is the regression for the zero-marginal
+// trace divergence: once the greedy marginals hit 0 (k well past the
+// positive-score horizon of a small index), the IRR query used to keep
+// popping its candidate heap — listed users, smallest-user tie-break —
+// while coverage.Solve (the RR path) pads with the smallest unpicked vertex
+// ID over ALL vertices. Theorem 3 promises identical traces, so seeds AND
+// marginals must match exactly all the way to k.
+func TestTheorem3ZeroMarginalPadding(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	rr, irr := buildBoth(t, g, prof, testConfig(), 2)
+	sawZero := false
+	for _, q := range []topic.Query{
+		// K=5 on a 7-vertex graph: the tail of every trace is zero-marginal.
+		{Topics: []int{topicCar}, K: 5},
+		{Topics: []int{topicSport}, K: 5},
+		{Topics: []int{topicMusic, topicBook}, K: 5},
+		{Topics: []int{topicMusic, topicBook, topicSport, topicCar}, K: 5},
+	} {
+		rrRes, err := rr.Query(q)
+		if err != nil {
+			t.Fatalf("RR %v: %v", q.Topics, err)
+		}
+		irrRes, err := irr.Query(q)
+		if err != nil {
+			t.Fatalf("IRR %v: %v", q.Topics, err)
+		}
+		if len(rrRes.Seeds) != len(irrRes.Seeds) {
+			t.Fatalf("query %v: %d vs %d seeds", q.Topics, len(rrRes.Seeds), len(irrRes.Seeds))
+		}
+		for i := range rrRes.Seeds {
+			if rrRes.Marginals[i] == 0 {
+				sawZero = true
+			}
+			if rrRes.Seeds[i] != irrRes.Seeds[i] || rrRes.Marginals[i] != irrRes.Marginals[i] {
+				t.Fatalf("query %v: trace diverges at %d: RR %v/%v vs IRR %v/%v",
+					q.Topics, i, rrRes.Seeds, rrRes.Marginals, irrRes.Seeds, irrRes.Marginals)
+			}
+		}
+	}
+	if !sawZero {
+		t.Fatal("no query reached the zero-marginal horizon; the regression exercises nothing")
+	}
+}
+
+// queryEqual fails the test unless two query results are observably
+// identical in everything but their I/O profile.
+func queryEqual(t *testing.T, ctx string, a, b *QueryResult) {
+	t.Helper()
+	if !reflect.DeepEqual(a.Seeds, b.Seeds) {
+		t.Fatalf("%s: seeds %v vs %v", ctx, a.Seeds, b.Seeds)
+	}
+	if !reflect.DeepEqual(a.Marginals, b.Marginals) {
+		t.Fatalf("%s: marginals %v vs %v", ctx, a.Marginals, b.Marginals)
+	}
+	if a.EstSpread != b.EstSpread || a.Covered != b.Covered ||
+		a.NumRRSets != b.NumRRSets || a.PartitionsLoaded != b.PartitionsLoaded {
+		t.Fatalf("%s: metrics diverge: %+v vs %+v", ctx, a, b)
+	}
+	if !reflect.DeepEqual(a.Loaded, b.Loaded) {
+		t.Fatalf("%s: loaded %v vs %v", ctx, a.Loaded, b.Loaded)
+	}
+}
+
+// TestDecodedCacheCorrectness runs the same workload with and without the
+// decoded-object cache: results must be identical, repeats must hit, and a
+// fully warm query must touch neither the disk nor the decoder.
+func TestDecodedCacheCorrectness(t *testing.T) {
+	g, err := gen.NewsLike(gen.NewsLikeConfig{N: 300, AvgDegree: 3, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gen.Profiles(gen.DefaultProfilesConfig(300, 5, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wris.Config{
+		Epsilon: 0.4, K: 15, PilotSets: 500, MaxThetaPerKeyword: 8000, Seed: 21, Workers: 2,
+	}
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, cfg, BuildOptions{
+		Compression:   codec.Delta,
+		PartitionSize: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := objcache.New(8 << 20)
+	cached.SetDecodedCache(cache)
+
+	queries := []topic.Query{
+		{Topics: []int{0, 1}, K: 10},
+		{Topics: []int{0, 2, 3}, K: 15},
+		{Topics: []int{4}, K: 5},
+		{Topics: []int{0, 1}, K: 10}, // repeat → decoded hits
+	}
+	var hits int64
+	for i, q := range queries {
+		a, err := plain.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queryEqual(t, fmt.Sprintf("query %d", i), a, b)
+		if a.DecodedHits != 0 || a.DecodedMisses != 0 {
+			t.Fatalf("uncached index reported decoded-cache traffic: %+v", a)
+		}
+		hits += b.DecodedHits
+	}
+	if hits == 0 {
+		t.Fatal("repeated workload produced no decoded-cache hits")
+	}
+	if s := cache.Stats(); s.Hits == 0 || s.Misses == 0 || s.Entries == 0 {
+		t.Fatalf("cache stats %+v", s)
+	}
+	// A fully repeated query on a warm cache costs zero reads AND zero
+	// decodes: everything is a decoded hit.
+	warm, err := cached.Query(topic.Query{Topics: []int{0, 1}, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.IO.Total() != 0 || warm.DecodedMisses != 0 || warm.DecodedHits == 0 {
+		t.Fatalf("warm query still paid: io=%+v hits=%d misses=%d",
+			warm.IO, warm.DecodedHits, warm.DecodedMisses)
+	}
+}
+
+// TestDecodedCacheConcurrent hammers one decoded-cache-backed index from
+// many goroutines (run under -race): every result must equal the serial
+// baseline, and the singleflight must have collapsed concurrent decodes.
+func TestDecodedCacheConcurrent(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	_, irr := buildBoth(t, g, prof, testConfig(), 2)
+	cache := objcache.New(1 << 20)
+	irr.SetDecodedCache(cache)
+
+	queries := []topic.Query{
+		{Topics: []int{topicMusic}, K: 2},
+		{Topics: []int{topicMusic, topicBook}, K: 3},
+		{Topics: []int{topicCar, topicSport}, K: 5},
+	}
+	base := make([]*QueryResult, len(queries))
+	for i, q := range queries {
+		r, err := irr.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = r
+	}
+	const goroutines, rounds = 10, 8
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (gi + i) % len(queries)
+				r, err := irr.Query(queries[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(r.Seeds, base[qi].Seeds) || r.EstSpread != base[qi].EstSpread {
+					t.Errorf("query %d diverged under concurrency", qi)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	if s := cache.Stats(); s.Hits+s.Shared == 0 {
+		t.Fatalf("concurrent repeated workload never hit the decoded cache: %+v", s)
 	}
 }

@@ -5,12 +5,20 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"kbtim/internal/binfmt"
 	"kbtim/internal/diskio"
+	"kbtim/internal/objcache"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
+)
+
+// Decoded-cache regions of this index (see objcache.Key).
+const (
+	regionIP   objcache.Region = iota // Aux = 0 → map[uint32]int32
+	regionPart                        // Aux = partition index → *partBlock
 )
 
 // Index is an opened IRR index ready for incremental query processing.
@@ -23,6 +31,7 @@ type Index struct {
 	hdr  Header
 	dirs map[int]*KeywordDir
 	r    diskio.Segmented
+	dec  *objcache.Cache // optional decoded-object cache, set before first Query
 }
 
 // Open parses the header and directory of an IRR index accessible via r.
@@ -69,6 +78,14 @@ func Open(r diskio.Segmented) (*Index, error) {
 	}
 	return idx, nil
 }
+
+// SetDecodedCache attaches a decoded-object cache: parsed IP tables and
+// partition blocks are cached across queries (with singleflight loading),
+// so hot keywords skip both the disk AND the decode. Must be called before
+// the index is shared between goroutines (i.e. right after Open); pass nil
+// to detach. Cached values are immutable — queries trim inverted lists to
+// their private θ^Q_w by slicing.
+func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
 
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
@@ -145,6 +162,16 @@ type QueryResult struct {
 	// PartitionsLoaded counts partition blocks fetched (Table 6's I/O
 	// driver).
 	PartitionsLoaded int
+	// DecodedHits / DecodedMisses count decoded-cache lookups by this
+	// query (zero when no decoded cache is attached). A hit means the
+	// artifact was consumed without any read OR decode.
+	DecodedHits   int64
+	DecodedMisses int64
+}
+
+// decCounters accumulates one query's decoded-cache traffic.
+type decCounters struct {
+	hits, misses int64
 }
 
 // kwState is the per-keyword in-memory state of one NRA run.
@@ -152,7 +179,7 @@ type kwState struct {
 	topicID  int
 	dir      *KeywordDir
 	thetaQw  int
-	ip       map[uint32]int32 // first occurrence per listed user
+	ip       map[uint32]int32 // first occurrence per listed user (shared, read-only)
 	next     int              // next partition to fetch
 	kb       int              // upper bound for users not yet seen in IL_w
 	covered  []bool           // covered[rrID] for rrID < thetaQw
@@ -202,6 +229,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		return nil, err
 	}
 
+	var dec decCounters
 	states := make([]*kwState, 0, len(q.Topics))
 	var phiQ float64
 	h := &candHeap{}
@@ -220,7 +248,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			lists:    make(map[uint32][]int32),
 			maxParts: len(d.Partitions),
 		}
-		if err := idx.loadIP(r, st); err != nil {
+		if err := idx.loadIP(r, st, &dec); err != nil {
 			return nil, fmt.Errorf("irrindex: keyword %d IP: %w", w, err)
 		}
 		states = append(states, st)
@@ -228,7 +256,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	// Prime with the first partition of every keyword.
 	for _, st := range states {
-		users, err := idx.loadNextPartition(r, st, pushed)
+		users, err := idx.loadNextPartition(r, st, pushed, &dec)
 		if err != nil {
 			return nil, err
 		}
@@ -280,17 +308,44 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	res := &QueryResult{Loaded: make(map[int]int, len(states))}
 	picked := make(map[uint32]bool, q.K)
+	// padZeros fills the remaining seed slots with zero-marginal vertices in
+	// exactly coverage.Solve's order: smallest unpicked vertex ID over ALL
+	// vertices, listed in an inverted file or not. Using the candidate heap
+	// here instead would visit listed users first (smallest-user tie-break
+	// among heap entries only) and break the Theorem-3 trace equality the
+	// moment marginals hit zero.
+	padZeros := func() {
+		for v := 0; len(res.Seeds) < q.K && v < idx.hdr.NumVertices; v++ {
+			if !picked[uint32(v)] {
+				picked[uint32(v)] = true
+				res.Seeds = append(res.Seeds, uint32(v))
+				res.Marginals = append(res.Marginals, 0)
+			}
+		}
+	}
 	for len(res.Seeds) < q.K {
 		if h.Len() == 0 {
-			// No positive candidates remain; pad like the plain greedy
-			// does, with the smallest unpicked vertices at score 0.
-			for v := 0; len(res.Seeds) < q.K && v < idx.hdr.NumVertices; v++ {
-				if !picked[uint32(v)] {
-					picked[uint32(v)] = true
-					res.Seeds = append(res.Seeds, uint32(v))
-					res.Marginals = append(res.Marginals, 0)
+			// The heap drained, but undiscovered users in unloaded
+			// partitions may still score positively — padding now would
+			// silently skip them. Keep fetching; pad only once every
+			// partition is loaded (then every unpicked vertex is exactly
+			// zero-marginal).
+			progress := false
+			for _, st := range states {
+				if st.next < st.maxParts {
+					users, err := idx.loadNextPartition(r, st, pushed, &dec)
+					if err != nil {
+						return nil, err
+					}
+					pending = append(pending, users...)
+					progress = true
 				}
 			}
+			flushPending()
+			if progress {
+				continue
+			}
+			padZeros()
 			break
 		}
 		top := (*h)[0]
@@ -305,6 +360,14 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			continue
 		}
 		if complete && ub >= sumKB() {
+			if ub == 0 {
+				// The decided marginal is 0 and it bounds every other
+				// candidate (heap entries overestimate, unseen users are
+				// bounded by Σkb ≤ 0), so every remaining vertex has
+				// marginal 0: switch to the solver's global padding order.
+				padZeros()
+				break
+			}
 			heap.Pop(h)
 			picked[top.user] = true
 			res.Seeds = append(res.Seeds, top.user)
@@ -321,7 +384,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
-				users, err := idx.loadNextPartition(r, st, pushed)
+				users, err := idx.loadNextPartition(r, st, pushed, &dec)
 				if err != nil {
 					return nil, err
 				}
@@ -349,54 +412,177 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	}
 	res.EstSpread = float64(res.Covered) / float64(total) * phiQ
 	res.IO = r.Stats()
+	res.DecodedHits = dec.hits
+	res.DecodedMisses = dec.misses
 	res.Elapsed = time.Since(start)
 	return res, nil
 }
 
-// loadIP reads and parses a keyword's first-occurrence table through the
-// query's scope.
-func (idx *Index) loadIP(r diskio.Segmented, st *kwState) error {
-	buf, err := r.ReadSegment(st.dir.IPOff, st.dir.IPLen)
+// loadIP attaches a keyword's first-occurrence table to st, through the
+// decoded cache when one is attached. The table is shared read-only between
+// queries.
+func (idx *Index) loadIP(r diskio.Segmented, st *kwState, dec *decCounters) error {
+	if idx.dec == nil {
+		ip, err := idx.decodeIP(r, st.dir)
+		if err != nil {
+			return err
+		}
+		st.ip = ip
+		return nil
+	}
+	v, hit, err := idx.dec.GetOrLoad(
+		objcache.Key{Region: regionIP, Topic: int32(st.dir.TopicID)},
+		func() (any, int64, error) {
+			ip, err := idx.decodeIP(r, st.dir)
+			if err != nil {
+				return nil, 0, err
+			}
+			// Rough map footprint: key + value + bucket overhead.
+			return ip, int64(len(ip)) * 16, nil
+		})
 	if err != nil {
 		return err
 	}
-	br := binfmt.NewReader(buf)
-	st.ip = make(map[uint32]int32, st.dir.NumIPEntries)
-	for i := 0; i < st.dir.NumIPEntries; i++ {
-		v := br.Uvarint()
-		fo := br.Uvarint()
-		if br.Err() != nil {
-			return br.Err()
-		}
-		if v >= uint64(idx.hdr.NumVertices) || fo >= uint64(st.dir.ThetaW) {
-			return fmt.Errorf("%w: bad IP entry (%d→%d)", ErrBadFormat, v, fo)
-		}
-		st.ip[uint32(v)] = int32(fo)
+	if hit {
+		dec.hits++
+	} else {
+		dec.misses++
 	}
-	if br.Remaining() != 0 {
-		return fmt.Errorf("%w: IP region has trailing bytes", ErrBadFormat)
-	}
+	st.ip = v.(map[uint32]int32)
 	return nil
 }
 
-// loadNextPartition fetches one partition block (a single random I/O),
-// merges its inverted lists (trimmed to IDs < θ^Q_w), counts its RR sets,
-// lowers kb, and returns the users not seen before (the caller pushes them
-// once their cross-keyword upper bound is known).
-func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[uint32]bool) ([]uint32, error) {
+// decodeIP reads and parses a keyword's first-occurrence table through the
+// query's scope.
+func (idx *Index) decodeIP(r diskio.Segmented, d *KeywordDir) (map[uint32]int32, error) {
+	buf, err := r.ReadSegment(d.IPOff, d.IPLen)
+	if err != nil {
+		return nil, err
+	}
+	br := binfmt.NewReader(buf)
+	ip := make(map[uint32]int32, d.NumIPEntries)
+	for i := 0; i < d.NumIPEntries; i++ {
+		v := br.Uvarint()
+		fo := br.Uvarint()
+		if br.Err() != nil {
+			return nil, br.Err()
+		}
+		if v >= uint64(idx.hdr.NumVertices) || fo >= uint64(d.ThetaW) {
+			return nil, fmt.Errorf("%w: bad IP entry (%d→%d)", ErrBadFormat, v, fo)
+		}
+		ip[uint32(v)] = int32(fo)
+	}
+	if br.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: IP region has trailing bytes", ErrBadFormat)
+	}
+	return ip, nil
+}
+
+// partBlock is one fully decoded partition: users[i]'s ascending, UNtrimmed
+// inverted list is lists[i]; setIDs are the RR sets first claimed by this
+// block (the IR part — member lists are skipped, queries never need them).
+// Shared read-only through the decoded cache.
+type partBlock struct {
+	users  []uint32
+	lists  [][]int32
+	setIDs []uint32
+}
+
+// loadNextPartition fetches one partition block (a single random I/O on a
+// decoded-cache miss), merges its inverted lists into st (trimmed to IDs <
+// θ^Q_w by slicing the shared block), counts its RR sets, lowers kb, and
+// returns the users not seen before (the caller pushes them once their
+// cross-keyword upper bound is known).
+func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[uint32]bool, dec *decCounters) ([]uint32, error) {
 	if st.next >= st.maxParts {
 		return nil, nil
 	}
-	p := st.dir.Partitions[st.next]
+	pi := st.next
 	st.next++
 	st.fetched++
+	blk, err := idx.partition(r, st.dir, pi, st.thetaQw, dec)
+	if err != nil {
+		return nil, err
+	}
+	var newUsers []uint32
+	for i, u := range blk.users {
+		list := blk.lists[i]
+		cut := sort.Search(len(list), func(j int) bool { return list[j] >= int32(st.thetaQw) })
+		st.lists[u] = list[:cut]
+		if !pushed[u] {
+			pushed[u] = true
+			newUsers = append(newUsers, u)
+		}
+	}
+	for _, id := range blk.setIDs {
+		if id < uint32(st.thetaQw) {
+			st.loaded++
+		}
+	}
+
+	// kb: unseen users' lists are no longer than the shortest list just
+	// loaded; once everything is loaded no unseen user remains.
+	if st.next >= st.maxParts {
+		st.kb = 0
+	} else {
+		st.kb = st.dir.Partitions[pi].LastListLen
+		if st.kb > st.thetaQw {
+			st.kb = st.thetaQw
+		}
+	}
+	return newUsers, nil
+}
+
+// partition returns one decoded partition block, through the decoded cache
+// when attached. Without a cache the block is query-private, so its lists
+// are trimmed to IDs < thetaQw during decode; the cached artifact is
+// decoded in full because it is shared by queries with different θ^Q_w.
+func (idx *Index) partition(r diskio.Segmented, d *KeywordDir, pi, thetaQw int, dec *decCounters) (*partBlock, error) {
+	if idx.dec == nil {
+		return idx.decodePartition(r, d, pi, thetaQw)
+	}
+	v, hit, err := idx.dec.GetOrLoad(
+		objcache.Key{Region: regionPart, Topic: int32(d.TopicID), Aux: int64(pi)},
+		func() (any, int64, error) {
+			blk, err := idx.decodePartition(r, d, pi, int(d.ThetaW))
+			if err != nil {
+				return nil, 0, err
+			}
+			size := int64(len(blk.users))*28 + int64(len(blk.setIDs))*4
+			for _, l := range blk.lists {
+				size += int64(len(l)) * 4
+			}
+			return blk, size, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		dec.hits++
+	} else {
+		dec.misses++
+	}
+	return v.(*partBlock), nil
+}
+
+// decodePartition reads and decodes partition pi of keyword d: the IL
+// part's user lists trimmed to RR-set IDs < limit (IDs ascend, so the kept
+// part is a prefix), and the IR part's RR-set IDs only, stepping over the
+// member lists with SkipList instead of materializing them just to be
+// thrown away.
+func (idx *Index) decodePartition(r diskio.Segmented, d *KeywordDir, pi, limit int) (*partBlock, error) {
+	p := d.Partitions[pi]
 	buf, err := r.ReadSegment(p.Off, p.Len)
 	if err != nil {
 		return nil, err
 	}
 	br := binfmt.NewReader(buf)
+	blk := &partBlock{
+		users:  make([]uint32, 0, p.NumUsers),
+		lists:  make([][]int32, 0, p.NumUsers),
+		setIDs: make([]uint32, 0, p.NumSets),
+	}
 	scratch := make([]uint32, 0, 64)
-	var newUsers []uint32
 	for i := 0; i < p.NumUsers; i++ {
 		v := br.Uvarint()
 		if br.Err() != nil {
@@ -412,51 +598,34 @@ func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[
 			return nil, err
 		}
 		br.Bytes(n)
-		trimmed := make([]int32, 0, len(scratch))
-		for _, id := range scratch {
-			if id >= uint32(st.thetaQw) {
-				break
-			}
-			trimmed = append(trimmed, int32(id))
+		cut := len(scratch)
+		for cut > 0 && scratch[cut-1] >= uint32(limit) {
+			cut--
 		}
-		st.lists[uint32(v)] = trimmed
-		if !pushed[uint32(v)] {
-			pushed[uint32(v)] = true
-			newUsers = append(newUsers, uint32(v))
+		list := make([]int32, cut)
+		for j, id := range scratch[:cut] {
+			list[j] = int32(id)
 		}
+		blk.users = append(blk.users, uint32(v))
+		blk.lists = append(blk.lists, list)
 	}
 	for i := 0; i < p.NumSets; i++ {
 		id := br.Uvarint()
 		if br.Err() != nil {
 			return nil, br.Err()
 		}
-		if id >= uint64(st.dir.ThetaW) {
+		if id >= uint64(d.ThetaW) {
 			return nil, fmt.Errorf("%w: partition set ID %d out of range", ErrBadFormat, id)
 		}
-		scratch = scratch[:0]
-		var n int
-		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[br.Pos():])
+		n, err := idx.hdr.Compression.SkipList(buf[br.Pos():])
 		if err != nil {
 			return nil, err
 		}
 		br.Bytes(n)
-		if id < uint64(st.thetaQw) {
-			st.loaded++
-		}
+		blk.setIDs = append(blk.setIDs, uint32(id))
 	}
 	if br.Remaining() != 0 {
 		return nil, fmt.Errorf("%w: partition has trailing bytes", ErrBadFormat)
 	}
-
-	// kb: unseen users' lists are no longer than the shortest list just
-	// loaded; once everything is loaded no unseen user remains.
-	if st.next >= st.maxParts {
-		st.kb = 0
-	} else {
-		st.kb = p.LastListLen
-		if st.kb > st.thetaQw {
-			st.kb = st.thetaQw
-		}
-	}
-	return newUsers, nil
+	return blk, nil
 }

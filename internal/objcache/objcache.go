@@ -1,0 +1,216 @@
+// Package objcache is the decoded-object tier of the two-tier cache
+// described in DESIGN.md §4. Where diskio.CachedReader caches the raw bytes
+// of index segments ("skip the disk"), objcache caches the *parsed*
+// artifacts queries actually consume — RR-set batch prefixes, decoded
+// inverted tables, IRR IP tables, decoded partition blocks — so a hot
+// keyword also skips the varint+delta decode, which dominates query cost
+// once segments are memory-resident.
+//
+// Entries are keyed by (region, topic, aux): region tags the artifact kind,
+// topic the keyword, and aux the refinement — the θ-prefix length for RR-set
+// prefixes, the partition index for IRR partition blocks, zero elsewhere.
+// Each opened index file owns its own Cache, so file identity is implicit in
+// the instance.
+//
+// Loads are collapsed with singleflight semantics: when N concurrent
+// queries ask for the same missing key, exactly one runs the loader (paying
+// the read + decode) and the other N−1 block and share the result. Under a
+// Zipf keyword workload this is the difference between one decode per
+// eviction and one decode per query.
+//
+// Cached values are shared between queries and MUST be treated as
+// immutable; consumers trim to their private θ^Q_w by slicing, never by
+// mutating.
+package objcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+)
+
+// errPanicked is what waiters of a flight observe when its loader panicked
+// (the panic itself propagates to the goroutine that ran the loader).
+var errPanicked = errors.New("objcache: loader panicked")
+
+// Region tags the artifact kind of a cache key. The values are declared by
+// the index packages; objcache only requires them to be distinct per cache
+// instance.
+type Region uint8
+
+// Key identifies one decoded artifact within a cache instance.
+type Key struct {
+	// Region is the artifact kind (sets prefix, inverted table, IP table,
+	// partition block, ...).
+	Region Region
+	// Topic is the keyword (topic ID) the artifact belongs to.
+	Topic int32
+	// Aux refines the key within (Region, Topic): the θ-prefix length for
+	// RR-set prefixes, the partition index for partition blocks, 0 when the
+	// region has a single artifact per keyword.
+	Aux int64
+}
+
+// Stats is a snapshot of a Cache's counters.
+type Stats struct {
+	Hits        int64 // GetOrLoad calls served from a cached entry
+	Misses      int64 // GetOrLoad calls that ran the loader
+	Shared      int64 // GetOrLoad calls that joined another caller's in-flight load
+	Evictions   int64 // entries dropped to stay within the budget
+	Entries     int   // artifacts currently cached
+	BytesCached int64 // estimated payload bytes currently cached
+	BudgetBytes int64 // configured byte budget
+}
+
+// HitRate returns the fraction of lookups that avoided a decode (hits plus
+// shared loads), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses + s.Shared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// entry is one cached artifact.
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// flight is one in-progress load other callers can join.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Cache is a concurrency-safe byte-budget LRU of decoded artifacts with
+// singleflight loading. The zero budget (or any budget <= 0) disables
+// storage but keeps singleflight collapsing, which is still worth having
+// under concurrency.
+type Cache struct {
+	budget int64
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	entries map[Key]*list.Element
+	flights map[Key]*flight
+	used    int64
+	stats   Stats
+}
+
+// New returns a cache with the given payload byte budget.
+func New(budget int64) *Cache {
+	return &Cache{
+		budget:  budget,
+		ll:      list.New(),
+		entries: make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+	}
+}
+
+// GetOrLoad returns the artifact for key, running load at most once across
+// concurrent callers. hit is true when this caller did not run the loader
+// (the value came from the cache or from another caller's in-flight load).
+// The loader's size result is the value's estimated payload bytes, used for
+// budget accounting. A failed load is not cached; every caller of that
+// flight observes the same error.
+func (c *Cache) GetOrLoad(key Key, load func() (val any, size int64, err error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		v := el.Value.(*entry).val
+		c.mu.Unlock()
+		return v, true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Shared++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// The flight MUST be retired even if the loader panics — otherwise the
+	// key is wedged forever and every future caller blocks on f.done (in a
+	// server, each such caller pins a worker-pool slot). Waiters of a
+	// panicked flight observe errPanicked; the panic itself propagates to
+	// the loader's caller.
+	var size int64
+	finished := false
+	defer func() {
+		if !finished {
+			f.err = errPanicked
+		}
+		c.mu.Lock()
+		delete(c.flights, key)
+		if finished && f.err == nil {
+			c.insertLocked(key, f.val, size)
+		}
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	f.val, size, f.err = load()
+	finished = true
+	return f.val, false, f.err
+}
+
+// insertLocked stores val under key and evicts LRU entries until the budget
+// holds. Values larger than the whole budget are not cached. A concurrent
+// duplicate (possible when a flight for the same key failed and was retried)
+// is refreshed in place.
+func (c *Cache) insertLocked(key Key, val any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	if size > c.budget || c.budget <= 0 {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*entry)
+		c.used += size - ent.size
+		ent.val, ent.size = val, size
+		c.ll.MoveToFront(el)
+	} else {
+		c.entries[key] = c.ll.PushFront(&entry{key: key, val: val, size: size})
+		c.used += size
+	}
+	for c.used > c.budget {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, ent.key)
+		c.used -= ent.size
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.BytesCached = c.used
+	s.BudgetBytes = c.budget
+	return s
+}
+
+// Purge drops every cached artifact (counters are kept, in-flight loads are
+// unaffected — they will reinsert on completion).
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.used = 0
+}

@@ -4,13 +4,21 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"kbtim/internal/coverage"
 	"kbtim/internal/diskio"
+	"kbtim/internal/objcache"
 	"kbtim/internal/rrset"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
+)
+
+// Decoded-cache regions of this index (see objcache.Key).
+const (
+	regionSets objcache.Region = iota // Aux = θ-prefix length → *rrset.Batch
+	regionInv                         // Aux = 0 → *invTable
 )
 
 // Index is an opened RR index ready for query processing. After Open the
@@ -23,6 +31,7 @@ type Index struct {
 	hdr  Header
 	dirs map[int]*KeywordDir
 	r    diskio.Segmented
+	dec  *objcache.Cache // optional decoded-object cache, set before first Query
 }
 
 // Open parses the header and directory of an index accessible through r.
@@ -67,6 +76,14 @@ func Open(r diskio.Segmented) (*Index, error) {
 	return idx, nil
 }
 
+// SetDecodedCache attaches a decoded-object cache: parsed RR-set batch
+// prefixes and inverted tables are cached across queries (with singleflight
+// loading), so hot keywords skip both the disk AND the decode. Must be
+// called before the index is shared between goroutines (i.e. right after
+// Open); pass nil to detach. Cached values are immutable — queries trim to
+// their private θ^Q_w by slicing.
+func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
+
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
 
@@ -94,6 +111,16 @@ type QueryResult struct {
 	// Loaded maps each query keyword to the number of RR sets fetched
 	// (θ^Q_w, the Figure 5–7 "number of RR sets loaded" series).
 	Loaded map[int]int
+	// DecodedHits / DecodedMisses count decoded-cache lookups by this
+	// query (zero when no decoded cache is attached). A hit means the
+	// artifact was consumed without any read OR decode.
+	DecodedHits   int64
+	DecodedMisses int64
+}
+
+// decCounters accumulates one query's decoded-cache traffic.
+type decCounters struct {
+	hits, misses int64
 }
 
 // Plan computes θ^Q and the per-keyword allocation θ^Q_w = θ^Q·p_w of
@@ -143,6 +170,13 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 	return alloc, nil
 }
 
+// setsView maps one keyword's RR-set batch into the query's global set-ID
+// space: set (start+i) is batch.Set(i).
+type setsView struct {
+	start int32
+	batch *rrset.Batch
+}
+
 // Query answers a KB-TIM query with Algorithm 2: load θ^Q_w RR sets and the
 // inverted file of every query keyword, then run greedy maximum coverage.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
@@ -156,7 +190,8 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		return nil, err
 	}
 
-	var batch rrset.Batch
+	var dec decCounters
+	views := make([]setsView, 0, len(q.Topics))
 	lists := make([][]int32, idx.hdr.NumVertices)
 	offset := int32(0)
 	loaded := make(map[int]int, len(alloc))
@@ -165,26 +200,57 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		d := idx.dirs[w]
 		phiQ += d.Phi
 		t := alloc[w]
-		if err := idx.loadSets(r, d, t, &batch); err != nil {
+		batch, err := idx.setsPrefix(r, d, t, &dec)
+		if err != nil {
 			return nil, fmt.Errorf("rrindex: keyword %d sets: %w", w, err)
 		}
-		if err := idx.loadInverted(r, d, t, offset, lists); err != nil {
-			return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
+		if idx.dec == nil {
+			// No decoded cache: merge straight from the decode scratch into
+			// the query-private lists, with no intermediate table.
+			if err := idx.mergeInverted(r, d, t, offset, lists); err != nil {
+				return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
+			}
+		} else {
+			inv, err := idx.invTable(r, d, &dec)
+			if err != nil {
+				return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
+			}
+			// Merge into the query-private lists, trimming each (ascending)
+			// RR-ID list to IDs < θ^Q_w and applying the global offset. The
+			// cached table itself is never modified.
+			for i, v := range inv.verts {
+				list := inv.lists[i]
+				cut := sort.Search(len(list), func(j int) bool { return list[j] >= int32(t) })
+				for _, id := range list[:cut] {
+					lists[v] = append(lists[v], id+offset)
+				}
+			}
 		}
+		views = append(views, setsView{start: offset, batch: batch})
 		offset += int32(t)
 		loaded[w] = t
 	}
 
+	total := int(offset)
 	inst := &coverage.Instance{
 		NumVertices: idx.hdr.NumVertices,
-		NumSets:     batch.Len(),
+		NumSets:     total,
 		Lists:       lists,
 	}
-	res, err := coverage.Solve(inst, q.K, func(id int32) []uint32 { return batch.Set(int(id)) })
+	// Queries carry a handful of keywords, so a reverse linear scan finds
+	// the owning batch faster than anything fancier.
+	members := func(id int32) []uint32 {
+		for i := len(views) - 1; i >= 0; i-- {
+			if id >= views[i].start {
+				return views[i].batch.Set(int(id - views[i].start))
+			}
+		}
+		return nil
+	}
+	res, err := coverage.Solve(inst, q.K, members)
 	if err != nil {
 		return nil, err
 	}
-	total := batch.Len()
 	return &QueryResult{
 		Result: wris.Result{
 			Seeds:     res.Seeds,
@@ -193,19 +259,51 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			NumRRSets: total,
 			Elapsed:   time.Since(start),
 		},
-		Marginals: res.Marginal,
-		IO:        r.Stats(),
-		Loaded:    loaded,
+		Marginals:     res.Marginal,
+		IO:            r.Stats(),
+		Loaded:        loaded,
+		DecodedHits:   dec.hits,
+		DecodedMisses: dec.misses,
 	}, nil
 }
 
-// loadSets fetches the first t RR sets of keyword d in one sequential
-// segment read through the query's scope and appends them to batch.
-func (idx *Index) loadSets(r diskio.Segmented, d *KeywordDir, t int, batch *rrset.Batch) error {
+// setsPrefix returns keyword d's first t RR sets as a batch, served from the
+// decoded cache when one is attached (key includes the θ-prefix t, so every
+// distinct prefix is its own artifact, exactly as hot repeated queries
+// produce).
+func (idx *Index) setsPrefix(r diskio.Segmented, d *KeywordDir, t int, dec *decCounters) (*rrset.Batch, error) {
+	if idx.dec == nil {
+		return idx.decodeSets(r, d, t)
+	}
+	v, hit, err := idx.dec.GetOrLoad(
+		objcache.Key{Region: regionSets, Topic: int32(d.TopicID), Aux: int64(t)},
+		func() (any, int64, error) {
+			b, err := idx.decodeSets(r, d, t)
+			if err != nil {
+				return nil, 0, err
+			}
+			return b, int64(len(b.Flat))*4 + int64(len(b.Off))*8, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		dec.hits++
+	} else {
+		dec.misses++
+	}
+	return v.(*rrset.Batch), nil
+}
+
+// decodeSets fetches the first t RR sets of keyword d in one sequential
+// segment read through the query's scope and decodes them into a fresh
+// batch.
+func (idx *Index) decodeSets(r diskio.Segmented, d *KeywordDir, t int) (*rrset.Batch, error) {
 	buf, err := r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
 	if err != nil {
-		return err
+		return nil, err
 	}
+	batch := &rrset.Batch{}
 	pos := 0
 	scratch := make([]uint32, 0, 64)
 	for i := 0; i < t; i++ {
@@ -213,23 +311,31 @@ func (idx *Index) loadSets(r diskio.Segmented, d *KeywordDir, t int, batch *rrse
 		var n int
 		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[pos:])
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pos += n
 		for _, v := range scratch {
 			if int(v) >= idx.hdr.NumVertices {
-				return fmt.Errorf("%w: member %d out of range", ErrBadFormat, v)
+				return nil, fmt.Errorf("%w: member %d out of range", ErrBadFormat, v)
 			}
 		}
 		batch.Append(scratch)
 	}
-	return nil
+	return batch, nil
 }
 
-// loadInverted fetches the whole inverted region of keyword d (one
-// sequential read), keeps only RR IDs < t, applies the global ID offset,
-// and merges into lists.
-func (idx *Index) loadInverted(r diskio.Segmented, d *KeywordDir, t int, offset int32, lists [][]int32) error {
+// invTable is one keyword's fully decoded inverted region: verts[i]'s
+// ascending, UNtrimmed RR-set IDs are lists[i]. Shared read-only through the
+// decoded cache; queries trim by slicing.
+type invTable struct {
+	verts []uint32
+	lists [][]int32
+}
+
+// mergeInverted is the cache-free fast path: it fetches keyword d's whole
+// inverted region (one sequential read), keeps only RR IDs < t, applies the
+// global ID offset, and merges directly into lists.
+func (idx *Index) mergeInverted(r diskio.Segmented, d *KeywordDir, t int, offset int32, lists [][]int32) error {
 	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
 	if err != nil {
 		return err
@@ -259,4 +365,70 @@ func (idx *Index) loadInverted(r diskio.Segmented, d *KeywordDir, t int, offset 
 		return fmt.Errorf("%w: inverted region has %d trailing bytes", ErrBadFormat, len(buf)-pos)
 	}
 	return nil
+}
+
+// invTable returns keyword d's decoded inverted table from the decoded
+// cache. The artifact is decoded in full (untrimmed) because it is shared
+// by queries with different allocations.
+func (idx *Index) invTable(r diskio.Segmented, d *KeywordDir, dec *decCounters) (*invTable, error) {
+	v, hit, err := idx.dec.GetOrLoad(
+		objcache.Key{Region: regionInv, Topic: int32(d.TopicID)},
+		func() (any, int64, error) {
+			tbl, err := idx.decodeInv(r, d)
+			if err != nil {
+				return nil, 0, err
+			}
+			size := int64(len(tbl.verts)) * 28 // vert + slice header per list
+			for _, l := range tbl.lists {
+				size += int64(len(l)) * 4
+			}
+			return tbl, size, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		dec.hits++
+	} else {
+		dec.misses++
+	}
+	return v.(*invTable), nil
+}
+
+// decodeInv fetches the whole inverted region of keyword d (one sequential
+// read) and decodes every list in full, for the shared cached artifact.
+func (idx *Index) decodeInv(r diskio.Segmented, d *KeywordDir) (*invTable, error) {
+	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
+	if err != nil {
+		return nil, err
+	}
+	tbl := &invTable{
+		verts: make([]uint32, 0, d.NumInvLists),
+		lists: make([][]int32, 0, d.NumInvLists),
+	}
+	pos := 0
+	scratch := make([]uint32, 0, 64)
+	for i := 0; i < d.NumInvLists; i++ {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 || v >= uint64(idx.hdr.NumVertices) {
+			return nil, fmt.Errorf("%w: bad inverted-list vertex", ErrBadFormat)
+		}
+		pos += n
+		scratch = scratch[:0]
+		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[pos:])
+		if err != nil {
+			return nil, err
+		}
+		pos += n
+		list := make([]int32, len(scratch))
+		for j, id := range scratch {
+			list[j] = int32(id)
+		}
+		tbl.verts = append(tbl.verts, uint32(v))
+		tbl.lists = append(tbl.lists, list)
+	}
+	if pos != len(buf) {
+		return nil, fmt.Errorf("%w: inverted region has %d trailing bytes", ErrBadFormat, len(buf)-pos)
+	}
+	return tbl, nil
 }

@@ -5,12 +5,15 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"sync"
 	"testing"
 
 	"kbtim/internal/codec"
 	"kbtim/internal/diskio"
 	"kbtim/internal/gen"
 	"kbtim/internal/graph"
+	"kbtim/internal/objcache"
 	"kbtim/internal/prop"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
@@ -381,5 +384,106 @@ func TestMediumScaleConsistency(t *testing.T) {
 	lo, hi := online.EstSpread*0.55, online.EstSpread*1.8
 	if fromIndex.EstSpread < lo || fromIndex.EstSpread > hi {
 		t.Fatalf("index spread %v vs online %v", fromIndex.EstSpread, online.EstSpread)
+	}
+}
+
+// TestDecodedCacheCorrectness runs the same workload with and without the
+// decoded-object cache: Seeds, Marginals, and spreads must be identical,
+// repeats must hit, and a fully warm query must touch neither the disk nor
+// the varint decoder.
+func TestDecodedCacheCorrectness(t *testing.T) {
+	g := figure1(t)
+	prof := figure1Profiles(t)
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, testConfig(), BuildOptions{
+		Compression: codec.Delta,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Open(diskio.NewMem(buf.Bytes(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := objcache.New(4 << 20)
+	cached.SetDecodedCache(cache)
+
+	queries := []topic.Query{
+		{Topics: []int{topicMusic}, K: 2},
+		{Topics: []int{topicMusic, topicBook}, K: 3},
+		{Topics: []int{topicCar, topicSport}, K: 5},
+		{Topics: []int{topicMusic, topicBook}, K: 3}, // repeat → decoded hits
+	}
+	var hits int64
+	for _, q := range queries {
+		a, err := plain.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Seeds, b.Seeds) || !reflect.DeepEqual(a.Marginals, b.Marginals) {
+			t.Fatalf("query %v diverges with decoded cache: %v/%v vs %v/%v",
+				q.Topics, a.Seeds, a.Marginals, b.Seeds, b.Marginals)
+		}
+		if a.EstSpread != b.EstSpread || a.NumRRSets != b.NumRRSets {
+			t.Fatalf("query %v: metrics diverge: %+v vs %+v", q.Topics, a, b)
+		}
+		if a.DecodedHits != 0 || a.DecodedMisses != 0 {
+			t.Fatalf("uncached index reported decoded-cache traffic: %+v", a)
+		}
+		hits += b.DecodedHits
+	}
+	if hits == 0 {
+		t.Fatal("repeated workload produced no decoded-cache hits")
+	}
+	warm, err := cached.Query(topic.Query{Topics: []int{topicMusic, topicBook}, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.IO.Total() != 0 || warm.DecodedMisses != 0 || warm.DecodedHits == 0 {
+		t.Fatalf("warm query still paid: io=%+v hits=%d misses=%d",
+			warm.IO, warm.DecodedHits, warm.DecodedMisses)
+	}
+}
+
+// TestDecodedCacheConcurrent hammers one decoded-cache-backed RR index from
+// many goroutines (run under -race): results must match the serial baseline
+// and the singleflight must have collapsed concurrent decodes.
+func TestDecodedCacheConcurrent(t *testing.T) {
+	idx, _ := buildFigure1(t, codec.Delta, wris.SizeTheta)
+	cache := objcache.New(1 << 20)
+	idx.SetDecodedCache(cache)
+	q := topic.Query{Topics: []int{topicMusic, topicBook}, K: 3}
+	base, err := idx.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				r, err := idx.Query(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(r.Seeds, base.Seeds) || r.EstSpread != base.EstSpread {
+					t.Error("result diverged under concurrency")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := cache.Stats(); s.Hits+s.Shared == 0 {
+		t.Fatalf("concurrent repeated workload never hit the decoded cache: %+v", s)
 	}
 }
