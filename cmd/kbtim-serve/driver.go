@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"kbtim/internal/gen"
 	"kbtim/internal/rng"
 )
 
@@ -25,7 +27,71 @@ type driveConfig struct {
 	MaxLen   int // keywords per query drawn uniformly from [1, MaxLen]
 	Strategy string
 	Seed     uint64
+	// Zipf skews keyword popularity: topic ranks are drawn with probability
+	// ∝ 1/rank^Zipf (0 = uniform). Skewed traffic is what makes the decoded
+	// cache's singleflight and eviction paths actually fire.
+	Zipf float64
+	// Churn rotates the ACTIVE keyword window (half the universe) by a half
+	// window every interval, so the hot set drifts and the server's caches
+	// must evict and re-admit (0 = the whole universe stays active).
+	Churn time.Duration
 }
+
+// topicPicker draws query keywords from the (possibly rotating) active
+// window of the universe, uniformly or Zipf-skewed by rank.
+type topicPicker struct {
+	universe []int
+	window   int
+	alias    *rng.Alias   // rank distribution over the window; nil = uniform
+	offset   atomic.Int64 // window start, advanced by the churn ticker
+	stop     chan struct{}
+}
+
+// newTopicPicker builds the picker and, when churn is set, starts the
+// rotation ticker (Close stops it).
+func newTopicPicker(universe []int, zipf float64, churn time.Duration) (*topicPicker, error) {
+	p := &topicPicker{universe: universe, window: len(universe), stop: make(chan struct{})}
+	if churn > 0 && len(universe) > 1 {
+		p.window = (len(universe) + 1) / 2
+		go func() {
+			tick := time.NewTicker(churn)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					// Advance by half a window: the hot set drifts with
+					// overlap instead of teleporting.
+					p.offset.Add(int64(p.window/2 + 1))
+				case <-p.stop:
+					return
+				}
+			}
+		}()
+	}
+	if zipf > 0 {
+		alias, err := rng.NewAlias(gen.TopicPopularity(p.window, zipf))
+		if err != nil {
+			return nil, err
+		}
+		p.alias = alias
+	}
+	return p, nil
+}
+
+// pick draws one topic.
+func (p *topicPicker) pick(r *rng.Source) int {
+	var rank int
+	if p.alias != nil {
+		rank = p.alias.Sample(r)
+	} else {
+		rank = r.Intn(p.window)
+	}
+	i := (int(p.offset.Load()) + rank) % len(p.universe)
+	return p.universe[i]
+}
+
+// Close stops the churn ticker.
+func (p *topicPicker) Close() { close(p.stop) }
 
 // driveReport aggregates one load run.
 type driveReport struct {
@@ -65,10 +131,10 @@ func fetchKeywords(client *http.Client, target string) ([]int, error) {
 	return payload.Topics, nil
 }
 
-// pickTopics draws 1..maxLen distinct topics from the universe.
-func pickTopics(r *rng.Source, universe []int, maxLen int) []int {
-	if maxLen > len(universe) {
-		maxLen = len(universe)
+// pickTopics draws 1..maxLen distinct topics through the picker.
+func pickTopics(r *rng.Source, p *topicPicker, maxLen int) []int {
+	if maxLen > p.window {
+		maxLen = p.window
 	}
 	if maxLen < 1 {
 		maxLen = 1
@@ -77,7 +143,7 @@ func pickTopics(r *rng.Source, universe []int, maxLen int) []int {
 	seen := make(map[int]bool, n)
 	out := make([]int, 0, n)
 	for len(out) < n {
-		t := universe[r.Intn(len(universe))]
+		t := p.pick(r)
 		if !seen[t] {
 			seen[t] = true
 			out = append(out, t)
@@ -93,6 +159,12 @@ func drive(cfg driveConfig) (*driveReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	sort.Ints(universe) // rank order must be stable for the Zipf skew
+	picker, err := newTopicPicker(universe, cfg.Zipf, cfg.Churn)
+	if err != nil {
+		return nil, err
+	}
+	defer picker.Close()
 
 	type clientResult struct {
 		latencies []float64 // milliseconds
@@ -128,7 +200,7 @@ func drive(cfg driveConfig) (*driveReport, error) {
 			}
 			for time.Now().Before(deadline) {
 				req := queryRequest{
-					Topics:   pickTopics(r, universe, cfg.MaxLen),
+					Topics:   pickTopics(r, picker, cfg.MaxLen),
 					K:        cfg.K,
 					Strategy: cfg.Strategy,
 				}

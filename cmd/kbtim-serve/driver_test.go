@@ -1,0 +1,116 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kbtim/internal/rng"
+)
+
+func TestTopicPickerZipfSkew(t *testing.T) {
+	universe := make([]int, 20)
+	for i := range universe {
+		universe[i] = i * 3 // non-contiguous IDs, as a real index reports
+	}
+	p, err := newTopicPicker(universe, 1.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	r := rng.New(7)
+	freq := map[int]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		topic := p.pick(r)
+		if topic%3 != 0 || topic < 0 || topic > 57 {
+			t.Fatalf("picked %d outside the universe", topic)
+		}
+		freq[topic]++
+	}
+	if head, tail := freq[universe[0]], freq[universe[19]]; head < 4*tail {
+		t.Fatalf("zipf 1.5 barely skewed: rank0=%d rank19=%d", head, tail)
+	}
+	// Uniform control: no strong skew.
+	u, err := newTopicPicker(universe, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer u.Close()
+	freq = map[int]int{}
+	for i := 0; i < draws; i++ {
+		freq[u.pick(r)]++
+	}
+	if head, tail := freq[universe[0]], freq[universe[19]]; head > 2*tail {
+		t.Fatalf("uniform picker skewed: rank0=%d rank19=%d", head, tail)
+	}
+}
+
+func TestTopicPickerChurnRotates(t *testing.T) {
+	universe := make([]int, 10)
+	for i := range universe {
+		universe[i] = i
+	}
+	p, err := newTopicPicker(universe, 1.0, time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.window >= len(universe) {
+		t.Fatalf("churn should shrink the active window, got %d", p.window)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for p.offset.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("churn ticker never advanced the window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		if topic := p.pick(r); topic < 0 || topic >= len(universe) {
+			t.Fatalf("picked %d outside the rotated universe", topic)
+		}
+	}
+	// pickTopics must respect the shrunken window and stay duplicate-free.
+	topics := pickTopics(r, p, 50)
+	if len(topics) > p.window {
+		t.Fatalf("%d topics from a window of %d", len(topics), p.window)
+	}
+	seen := map[int]bool{}
+	for _, w := range topics {
+		if seen[w] {
+			t.Fatalf("duplicate topic %d", w)
+		}
+		seen[w] = true
+	}
+}
+
+// TestDriveZipfChurn runs the closed loop with both new knobs against an
+// in-process server: skewed, rotating traffic must still complete cleanly.
+func TestDriveZipfChurn(t *testing.T) {
+	srv := NewServer(testEngine(t), 4)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := drive(driveConfig{
+		Target:   ts.URL,
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		K:        2,
+		MaxLen:   2,
+		Strategy: "irr",
+		Seed:     3,
+		Zipf:     1.2,
+		Churn:    50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatal("driver completed no queries")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("driver saw %d errors", rep.Errors)
+	}
+}

@@ -44,6 +44,8 @@ func main() {
 		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
 		cacheMB     = flag.Int("cache-mb", 32, "segment (byte) cache budget per index, MiB (0 = no cache)")
 		decodedMB   = flag.Int("decoded-cache-mb", 64, "decoded-object cache budget per index, MiB (0 = no cache)")
+		cacheShards = flag.Int("cache-shards", 0, "decoded-object cache shards, rounded to a power of two (0 = near GOMAXPROCS)")
+		queryPar    = flag.Int("query-parallelism", 2, "per-query artifact-load parallelism (<=1 = sequential)")
 		model       = flag.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = flag.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = flag.Int("K", 100, "system cap on Q.k")
@@ -58,6 +60,8 @@ func main() {
 		k         = flag.Int("k", 10, "seed budget Q.k per generated query (drive mode)")
 		maxLen    = flag.Int("max-keywords", 3, "max keywords per generated query (drive mode)")
 		strategy  = flag.String("strategy", "irr", "strategy for generated queries: rr | irr (drive mode)")
+		zipf      = flag.Float64("zipf", 0, "keyword popularity skew exponent, 0 = uniform (drive mode)")
+		churn     = flag.Duration("churn", 0, "rotate the active keyword window this often, 0 = whole universe (drive mode)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,8 @@ func main() {
 			MaxLen:   *maxLen,
 			Strategy: *strategy,
 			Seed:     *seed,
+			Zipf:     *zipf,
+			Churn:    *churn,
 		})
 		if err != nil {
 			log.Fatalf("kbtim-serve: %v", err)
@@ -93,6 +99,8 @@ func main() {
 		Seed:               *seed,
 		CacheBytes:         int64(*cacheMB) << 20,
 		DecodedCacheBytes:  int64(*decodedMB) << 20,
+		CacheShards:        *cacheShards,
+		QueryParallelism:   *queryPar,
 	})
 	if err != nil {
 		log.Fatalf("kbtim-serve: %v", err)

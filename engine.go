@@ -63,6 +63,21 @@ type Options struct {
 	// Engine.DecodedCacheStats the cache-wide view. The two tiers compose:
 	// a decoded miss still reads through the segment cache.
 	DecodedCacheBytes int64
+	// CacheShards is the shard count of the decoded-object cache (rounded
+	// up to a power of two; 0 = a power of two near GOMAXPROCS). Each shard
+	// has its own lock, byte budget, and singleflight group, so concurrent
+	// queries on different keywords never contend on one cache mutex. Only
+	// meaningful with DecodedCacheBytes > 0.
+	CacheShards int
+	// QueryParallelism bounds how many artifacts ONE query fetches and
+	// decodes concurrently (0 or 1 = fully sequential). For QueryRR it
+	// parallelizes the per-keyword set-prefix and inverted-table loads; for
+	// QueryIRR it parallelizes IP-table loading and speculatively prefetches
+	// each keyword's next partition while the current NRA round runs. Seeds
+	// and spreads are identical either way; only latency and the I/O shape
+	// change (IRR speculation may read partitions the query ends up not
+	// needing).
+	QueryParallelism int
 }
 
 func (o Options) wrisConfig() wris.Config {
@@ -259,6 +274,12 @@ func NewEngine(ds *Dataset, opts Options) (*Engine, error) {
 	if opts.PartitionSize < 0 {
 		return nil, fmt.Errorf("kbtim: negative partition size")
 	}
+	if opts.CacheShards < 0 {
+		return nil, fmt.Errorf("kbtim: negative cache shard count")
+	}
+	if opts.QueryParallelism < 0 {
+		return nil, fmt.Errorf("kbtim: negative query parallelism")
+	}
 	return &Engine{ds: ds, opts: opts, model: model, cfg: cfg}, nil
 }
 
@@ -366,7 +387,7 @@ func (e *Engine) openHandle(path string) (*indexHandle, diskio.Segmented, error)
 		r = h.cache
 	}
 	if e.opts.DecodedCacheBytes > 0 {
-		h.dec = objcache.New(e.opts.DecodedCacheBytes)
+		h.dec = objcache.NewSharded(e.opts.DecodedCacheBytes, e.opts.CacheShards)
 	}
 	return h, r, nil
 }
@@ -404,6 +425,7 @@ func (e *Engine) OpenRRIndex(path string) error {
 	if h.dec != nil {
 		h.rr.SetDecodedCache(h.dec)
 	}
+	h.rr.SetQueryParallelism(e.opts.QueryParallelism)
 	old, err := e.attach(&e.rrH, h)
 	if err != nil {
 		h.file.Close()
@@ -431,6 +453,7 @@ func (e *Engine) OpenIRRIndex(path string) error {
 	if h.dec != nil {
 		h.irr.SetDecodedCache(h.dec)
 	}
+	h.irr.SetQueryParallelism(e.opts.QueryParallelism)
 	old, err := e.attach(&e.irrH, h)
 	if err != nil {
 		h.file.Close()

@@ -1,0 +1,160 @@
+package kbtim
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEngineParallelOptionsParity: QueryParallelism and CacheShards must
+// change neither seeds nor spreads, with every cache tier on.
+func TestEngineParallelOptionsParity(t *testing.T) {
+	plain := concurrentEngine(t, exampleOptions())
+	opts := exampleOptions()
+	opts.CacheBytes = 1 << 20
+	opts.DecodedCacheBytes = 1 << 20
+	opts.CacheShards = 4
+	opts.QueryParallelism = 3
+	turbo := concurrentEngine(t, opts)
+
+	queries := []Query{
+		{Topics: []int{0}, K: 2},
+		{Topics: []int{0, 1}, K: 3},
+		{Topics: []int{1, 2, 3}, K: 4},
+	}
+	for _, q := range queries {
+		for _, kind := range []string{"rr", "irr"} {
+			var a, b *Result
+			var err error
+			if kind == "rr" {
+				a, err = plain.QueryRR(q)
+				if err == nil {
+					b, err = turbo.QueryRR(q)
+				}
+			} else {
+				a, err = plain.QueryIRR(q)
+				if err == nil {
+					b, err = turbo.QueryIRR(q)
+				}
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) || a.EstSpread != b.EstSpread {
+				t.Fatalf("%s %v diverged under parallel options: %v/%v vs %v/%v",
+					kind, q, a.Seeds, a.EstSpread, b.Seeds, b.EstSpread)
+			}
+		}
+	}
+	rrDec, irrDec := turbo.DecodedCacheStats()
+	if rrDec.Misses == 0 || irrDec.Misses == 0 {
+		t.Fatalf("decoded cache unused: rr %+v irr %+v", rrDec, irrDec)
+	}
+}
+
+// TestEngineValidatesParallelOptions: negative knobs are rejected.
+func TestEngineValidatesParallelOptions(t *testing.T) {
+	ds := exampleDataset(t)
+	if _, err := NewEngine(ds, Options{CacheShards: -1}); err == nil {
+		t.Fatal("negative CacheShards accepted")
+	}
+	if _, err := NewEngine(ds, Options{QueryParallelism: -1}); err == nil {
+		t.Fatal("negative QueryParallelism accepted")
+	}
+}
+
+// TestEngineParallelQueriesEvictionAndSwap is the acceptance gate for the
+// parallel pipeline: concurrent parallel-loading queries, a decoded cache
+// small enough to evict constantly (sharded, adaptively rebalanced), and
+// index hot-swaps all running at once under -race, with every result checked
+// against the serial baseline.
+func TestEngineParallelQueriesEvictionAndSwap(t *testing.T) {
+	opts := exampleOptions()
+	opts.CacheBytes = 1 << 18
+	opts.DecodedCacheBytes = 1 << 12 // tiny: queries evict each other's artifacts
+	opts.CacheShards = 4
+	opts.QueryParallelism = 3
+	eng := concurrentEngine(t, opts)
+
+	dir := t.TempDir()
+	rrPath := filepath.Join(dir, "swap.rr")
+	irrPath := filepath.Join(dir, "swap.irr")
+	if _, err := eng.BuildRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := []Query{
+		{Topics: []int{0, 1}, K: 3},
+		{Topics: []int{1, 2, 3}, K: 4},
+		{Topics: []int{0, 2}, K: 2},
+	}
+	type baseline struct{ rr, irr *Result }
+	base := make([]baseline, len(queries))
+	for i, q := range queries {
+		rr, err := eng.QueryRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irr, err := eng.QueryIRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = baseline{rr: rr, irr: irr}
+	}
+
+	var stop atomic.Bool
+	var wg, swapWG sync.WaitGroup
+	// Swapper: re-opens both indexes (same deterministic build → same
+	// results) while queries are in flight.
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 0; !stop.Load(); i++ {
+			if err := eng.OpenRRIndex(rrPath); err != nil {
+				t.Errorf("swap rr: %v", err)
+				return
+			}
+			if err := eng.OpenIRRIndex(irrPath); err != nil {
+				t.Errorf("swap irr: %v", err)
+				return
+			}
+		}
+	}()
+	const goroutines, rounds = 8, 10
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (g + i) % len(queries)
+				q := queries[qi]
+				irr, err := eng.QueryIRR(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(irr.Seeds, base[qi].irr.Seeds) || irr.EstSpread != base[qi].irr.EstSpread {
+					t.Errorf("IRR diverged for %v under swap+eviction", q)
+					return
+				}
+				rr, err := eng.QueryRR(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(rr.Seeds, base[qi].rr.Seeds) || rr.EstSpread != base[qi].rr.EstSpread {
+					t.Errorf("RR diverged for %v under swap+eviction", q)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // queriers first, so swaps overlap queries the whole time
+	stop.Store(true)
+	swapWG.Wait()
+}

@@ -18,21 +18,29 @@ import (
 // cacheMode is one point of the cache axis: which tier is enabled and with
 // what budget. "off" reads and decodes everything per query; "byte" is the
 // segment-byte LRU (skips the disk, still pays the decode); "object" is the
-// decoded-object cache with singleflight (skips the disk AND the decode).
+// sharded decoded-object cache with singleflight (skips the disk AND the
+// decode). Par > 1 additionally enables per-query parallel artifact loading
+// (speculative partition prefetch on the IRR path).
 type cacheMode struct {
 	Kind  string // "off" | "byte" | "object"
 	Bytes int64
+	Par   int // per-query artifact-load parallelism (0/1 = sequential)
 }
 
 func (m cacheMode) label() string {
+	var base string
 	switch {
 	case m.Kind == "off":
-		return "off"
+		base = "off"
 	case m.Bytes >= 1<<20:
-		return fmt.Sprintf("%s:%dMiB", m.Kind, m.Bytes>>20)
+		base = fmt.Sprintf("%s:%dMiB", m.Kind, m.Bytes>>20)
 	default:
-		return fmt.Sprintf("%s:%dKiB", m.Kind, m.Bytes>>10)
+		base = fmt.Sprintf("%s:%dKiB", m.Kind, m.Bytes>>10)
 	}
+	if m.Par > 1 {
+		base += fmt.Sprintf("+par%d", m.Par)
+	}
+	return base
 }
 
 // ThroughputPoint is one (cache mode, worker count) measurement of the
@@ -41,6 +49,7 @@ type ThroughputPoint struct {
 	Family     Family
 	CacheKind  string // "off" | "byte" | "object"
 	CacheBytes int64
+	QueryPar   int // per-query artifact-load parallelism
 	Workers    int
 	Queries    int
 	Elapsed    time.Duration
@@ -62,21 +71,22 @@ func throughputModes(env *Env) []cacheMode {
 			{Kind: "byte", Bytes: 64 << 20},
 			{Kind: "object", Bytes: 8 << 20},
 			{Kind: "object", Bytes: 64 << 20},
+			{Kind: "object", Bytes: 64 << 20, Par: 2},
 		}
 	}
 	return []cacheMode{
 		{Kind: "off"},
 		{Kind: "byte", Bytes: 16 << 20},
 		{Kind: "object", Bytes: 16 << 20},
+		{Kind: "object", Bytes: 16 << 20, Par: 2},
 	}
 }
 
-// throughputWorkers returns the closed-loop client sweep.
+// throughputWorkers returns the closed-loop client sweep. The full 1→16
+// curve runs in every configuration: the scaling shape (not one point) is
+// what the sharded cache and scratch pooling exist for.
 func throughputWorkers(env *Env) []int {
-	if env.Cfg.Full {
-		return []int{1, 2, 4, 8, 16}
-	}
-	return []int{1, 4}
+	return []int{1, 2, 4, 8, 16}
 }
 
 // RunThroughput measures queries/sec of ONE shared IRR index serving
@@ -130,9 +140,10 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 		}
 		var objCache *objcache.Cache
 		if mode.Kind == "object" {
-			objCache = objcache.New(mode.Bytes)
+			objCache = objcache.NewSharded(mode.Bytes, 0)
 			idx.SetDecodedCache(objCache)
 		}
+		idx.SetQueryParallelism(mode.Par)
 		for _, workers := range throughputWorkers(env) {
 			if byteCache != nil {
 				byteCache.Purge()
@@ -157,6 +168,7 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 			point.Family = f
 			point.CacheKind = mode.Kind
 			point.CacheBytes = mode.Bytes
+			point.QueryPar = mode.Par
 			if byteCache != nil {
 				after := byteCache.Stats()
 				hits := after.Hits - byteBefore.Hits
@@ -248,7 +260,7 @@ func Throughput(w io.Writer, env *Env) error {
 			return err
 		}
 		for _, p := range points {
-			t.add(string(f), cacheMode{Kind: p.CacheKind, Bytes: p.CacheBytes}.label(),
+			t.add(string(f), cacheMode{Kind: p.CacheKind, Bytes: p.CacheBytes, Par: p.QueryPar}.label(),
 				p.Workers, p.Queries,
 				fmt.Sprintf("%.1f", p.QPS), fmt.Sprintf("%.2f", p.MeanMS),
 				fmt.Sprintf("%.2f", p.HitRate), p.DiskReads)

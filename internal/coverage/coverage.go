@@ -12,8 +12,9 @@
 package coverage
 
 import (
-	"container/heap"
 	"fmt"
+
+	"kbtim/internal/pool"
 )
 
 // Instance is a maximum-coverage instance: NumSets RR sets over vertices in
@@ -66,12 +67,15 @@ func Solve(in *Instance, k int, members func(setID int32) []uint32) (Result, err
 	if k <= 0 {
 		return Result{}, fmt.Errorf("coverage: k must be positive, got %d", k)
 	}
-	counts := make([]int, in.NumVertices)
+	counts := pool.Ints(in.NumVertices)
+	defer pool.PutInts(counts)
 	for v, list := range in.Lists {
 		counts[v] = len(list)
 	}
-	covered := make([]bool, in.NumSets)
-	picked := make([]bool, in.NumVertices)
+	covered := pool.Bools(in.NumSets)
+	defer pool.PutBools(covered)
+	picked := pool.Bools(in.NumVertices)
+	defer pool.PutBools(picked)
 	var res Result
 	for iter := 0; iter < k && iter < in.NumVertices; iter++ {
 		best, bestCount := -1, -1
@@ -107,23 +111,71 @@ type celfEntry struct {
 	round  int // iteration at which count was computed
 }
 
-type celfHeap []celfEntry
+// celfPool recycles heap backing arrays between SolveLazy calls.
+var celfPool pool.SlicePool[celfEntry]
 
-func (h celfHeap) Len() int { return len(h) }
-func (h celfHeap) Less(i, j int) bool {
-	if h[i].count != h[j].count {
-		return h[i].count > h[j].count
+// celfHeap is a typed max-heap over celfEntry. container/heap would box
+// every Push/Pop through interface{} — two allocations per operation on the
+// solver's hottest loop — so the sift operations are implemented directly.
+type celfHeap struct{ s []celfEntry }
+
+func (h *celfHeap) len() int { return len(h.s) }
+func (h *celfHeap) less(i, j int) bool {
+	if h.s[i].count != h.s[j].count {
+		return h.s[i].count > h.s[j].count
 	}
-	return h[i].vertex < h[j].vertex
+	return h.s[i].vertex < h.s[j].vertex
 }
-func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfEntry)) }
-func (h *celfHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *celfHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
+}
+
+func (h *celfHeap) down(i int) {
+	n := len(h.s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h.s[i], h.s[best] = h.s[best], h.s[i]
+		i = best
+	}
+}
+
+// init heapifies the backing slice in O(n).
+func (h *celfHeap) init() {
+	for i := len(h.s)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// fix0 restores the heap property after the root entry was updated in place
+// (the lazy-refresh step).
+func (h *celfHeap) fix0() { h.down(0) }
+
+// pop removes and returns the root.
+func (h *celfHeap) pop() celfEntry {
+	top := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s = h.s[:n]
+	h.down(0)
+	return top
 }
 
 // SolveLazy runs CELF-style greedy: marginal counts are only refreshed for
@@ -137,14 +189,16 @@ func SolveLazy(in *Instance, k int, members func(setID int32) []uint32) (Result,
 	if k <= 0 {
 		return Result{}, fmt.Errorf("coverage: k must be positive, got %d", k)
 	}
-	covered := make([]bool, in.NumSets)
+	covered := pool.Bools(in.NumSets)
+	defer pool.PutBools(covered)
 	// Every vertex enters the heap (zero-count ones too) so that the
 	// zero-marginal tie-breaking matches Solve exactly.
-	h := make(celfHeap, 0, in.NumVertices)
+	h := celfHeap{s: celfPool.Get(in.NumVertices)}
 	for v, list := range in.Lists {
-		h = append(h, celfEntry{vertex: uint32(v), count: len(list), round: 0})
+		h.s[v] = celfEntry{vertex: uint32(v), count: len(list), round: 0}
 	}
-	heap.Init(&h)
+	h.init()
+	defer func() { celfPool.Put(h.s) }()
 
 	fresh := func(v uint32) int {
 		c := 0
@@ -157,17 +211,17 @@ func SolveLazy(in *Instance, k int, members func(setID int32) []uint32) (Result,
 	}
 
 	var res Result
-	for iter := 1; len(res.Seeds) < k && h.Len() > 0; {
-		top := h[0]
+	for iter := 1; len(res.Seeds) < k && h.len() > 0; {
+		top := h.s[0]
 		if top.round != iter {
 			// Refresh and push back; only when the refreshed entry stays on
 			// top is it selected (next loop turn).
-			h[0].count = fresh(top.vertex)
-			h[0].round = iter
-			heap.Fix(&h, 0)
+			h.s[0].count = fresh(top.vertex)
+			h.s[0].round = iter
+			h.fix0()
 			continue
 		}
-		heap.Pop(&h)
+		h.pop()
 		res.Seeds = append(res.Seeds, top.vertex)
 		res.Marginal = append(res.Marginal, top.count)
 		res.Covered += top.count

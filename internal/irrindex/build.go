@@ -300,10 +300,20 @@ func buildKeyword(g *graph.Graph, model prop.Model, prof *topic.Profiles, t int,
 			}
 			block = opts.Compression.AppendList(block, tmp)
 		}
+		// IR part v2: claimed set IDs up front as ONE compressed list
+		// (setsByPart appends in ascending s order), then the member lists
+		// length-prefixed — queries read the IDs and stop.
+		tmp = tmp[:0]
 		for _, s := range setsByPart[p] {
-			block = binary.AppendUvarint(block, uint64(s))
-			block = opts.Compression.AppendList(block, batch.Set(int(s)))
+			tmp = append(tmp, uint32(s))
 		}
+		block = opts.Compression.AppendList(block, tmp)
+		var members []byte
+		for _, s := range setsByPart[p] {
+			members = opts.Compression.AppendList(members, batch.Set(int(s)))
+		}
+		block = binary.AppendUvarint(block, uint64(len(members)))
+		block = append(block, members...)
 		payload.dir.Partitions = append(payload.dir.Partitions, Partition{
 			Len:         int64(len(block)),
 			NumUsers:    hi - lo,

@@ -1,16 +1,17 @@
 package irrindex
 
 import (
-	"container/heap"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"kbtim/internal/binfmt"
 	"kbtim/internal/diskio"
 	"kbtim/internal/objcache"
+	"kbtim/internal/pool"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
 )
@@ -32,6 +33,7 @@ type Index struct {
 	dirs map[int]*KeywordDir
 	r    diskio.Segmented
 	dec  *objcache.Cache // optional decoded-object cache, set before first Query
+	par  int             // per-query artifact-load parallelism, set before first Query
 }
 
 // Open parses the header and directory of an IRR index accessible via r.
@@ -86,6 +88,18 @@ func Open(r diskio.Segmented) (*Index, error) {
 // to detach. Cached values are immutable — queries trim inverted lists to
 // their private θ^Q_w by slicing.
 func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
+
+// SetQueryParallelism bounds how many keywords one Query fetches and
+// decodes concurrently (<= 1 keeps the fully sequential path). With
+// parallelism > 1 a query loads all keywords' IP tables and first partitions
+// concurrently, and each NRA round SPECULATIVELY prefetches every keyword's
+// next partition while the current one is processed. Seeds and spreads are
+// identical either way — NRA state mutation stays sequential in keyword
+// order — but speculative fetches that the query ends up not needing do
+// show up in its I/O stats (that is the price of the latency win; they are
+// decoded-cache warmup, not waste, when a cache is attached). Must be called
+// before the index is shared between goroutines (i.e. right after Open).
+func (idx *Index) SetQueryParallelism(n int) { idx.par = n }
 
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
@@ -154,13 +168,15 @@ type QueryResult struct {
 	// Marginals[i] is the number of newly covered RR sets when Seeds[i]
 	// was selected; Theorem 3 says these match Algorithm 2's exactly.
 	Marginals []int
-	// IO is the logical disk activity (IP reads + partition fetches).
+	// IO is the logical disk activity (IP reads + partition fetches,
+	// including speculative prefetches when query parallelism is on).
 	IO diskio.Stats
 	// Loaded maps keywords to the number of RR sets (IDs < θ^Q_w) seen in
 	// fetched partitions — the Figures 5–7 series for IRR.
 	Loaded map[int]int
-	// PartitionsLoaded counts partition blocks fetched (Table 6's I/O
-	// driver).
+	// PartitionsLoaded counts partition blocks consumed by the NRA rounds
+	// (Table 6's I/O driver). Speculative prefetches the query never
+	// consumed are not counted here (they appear in IO only).
 	PartitionsLoaded int
 	// DecodedHits / DecodedMisses count decoded-cache lookups by this
 	// query (zero when no decoded cache is attached). A hit means the
@@ -174,19 +190,52 @@ type decCounters struct {
 	hits, misses int64
 }
 
+// add folds another goroutine's counters in (used after a parallel fetch
+// joins; never called concurrently).
+func (d *decCounters) add(o decCounters) {
+	d.hits += o.hits
+	d.misses += o.misses
+}
+
+// partFuture is one in-flight speculative partition fetch. The producing
+// goroutine owns blk/err/dec until it closes done; the query consumes them
+// only after <-done.
+type partFuture struct {
+	pi   int // partition index being fetched
+	done chan struct{}
+	blk  *partBlock
+	err  error
+	dec  decCounters
+}
+
 // kwState is the per-keyword in-memory state of one NRA run.
 type kwState struct {
-	topicID  int
-	dir      *KeywordDir
-	thetaQw  int
-	ip       map[uint32]int32 // first occurrence per listed user (shared, read-only)
-	next     int              // next partition to fetch
-	kb       int              // upper bound for users not yet seen in IL_w
-	covered  []bool           // covered[rrID] for rrID < thetaQw
-	lists    map[uint32][]int32
-	loaded   int // RR sets (IDs < thetaQw) seen in fetched partitions
-	fetched  int // partition blocks fetched
+	topicID int
+	dir     *KeywordDir
+	thetaQw int
+	ip      map[uint32]int32 // first occurrence per listed user (shared, read-only)
+	// ipHot[u] is the precomputed "IP_w[u] < θ^Q_w" predicate (pooled): the
+	// NRA upper-bound refresh asks it for every candidate every round, and a
+	// bitmap probe there beats a map lookup by ~an order of magnitude.
+	//
+	// ipHot and lists are DENSE per-vertex tables, trading O(NumVertices)
+	// pooled bytes (and a memclr) per keyword per query for O(1) branchless
+	// probes on the hottest loop. At this repo's 1:1000 dataset scale that
+	// is ~100s of KB per query; a paper-scale 41M-vertex graph would want
+	// the sparse (map) representation back behind a size cutoff — see the
+	// ROADMAP item.
+	ipHot    []bool
+	next     int    // next partition to fetch
+	kb       int    // upper bound for users not yet seen in IL_w
+	covered  []bool // covered[rrID] for rrID < thetaQw (pooled)
+	lists    [][]int32 // per-user loaded list (pooled; nil = not loaded)
+	loaded   int       // RR sets (IDs < thetaQw) seen in fetched partitions
+	fetched  int       // partition blocks consumed
 	maxParts int
+	pref     *partFuture // speculative next-partition fetch, nil when none
+	// dec/err carry the parallel load phase's results to the join.
+	dec decCounters
+	err error
 }
 
 // candidate is a priority-queue entry; stale bounds are corrected on pop.
@@ -195,29 +244,80 @@ type candidate struct {
 	ub   int
 }
 
-type candHeap []candidate
+// candPool recycles heap backing arrays between queries.
+var candPool pool.SlicePool[candidate]
 
-func (h candHeap) Len() int { return len(h) }
-func (h candHeap) Less(i, j int) bool {
-	if h[i].ub != h[j].ub {
-		return h[i].ub > h[j].ub
+// candHeap is a typed max-heap over candidates. container/heap would box
+// every Push/Pop through interface{} — two allocations per operation on the
+// NRA hot loop — so the sift operations are implemented directly.
+type candHeap struct{ s []candidate }
+
+func (h *candHeap) len() int { return len(h.s) }
+func (h *candHeap) less(i, j int) bool {
+	if h.s[i].ub != h.s[j].ub {
+		return h.s[i].ub > h.s[j].ub
 	}
-	return h[i].user < h[j].user
+	return h.s[i].user < h.s[j].user
 }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candidate)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.s[i], h.s[parent] = h.s[parent], h.s[i]
+		i = parent
+	}
 }
+
+func (h *candHeap) down(i int) {
+	n := len(h.s)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		best := l
+		if r := l + 1; r < n && h.less(r, l) {
+			best = r
+		}
+		if !h.less(best, i) {
+			break
+		}
+		h.s[i], h.s[best] = h.s[best], h.s[i]
+		i = best
+	}
+}
+
+// push adds a candidate.
+func (h *candHeap) push(c candidate) {
+	h.s = append(h.s, c)
+	h.up(len(h.s) - 1)
+}
+
+// pop removes and returns the root.
+func (h *candHeap) pop() candidate {
+	top := h.s[0]
+	n := len(h.s) - 1
+	h.s[0] = h.s[n]
+	h.s = h.s[:n]
+	h.down(0)
+	return top
+}
+
+// fix0 restores the heap property after the root was updated in place (the
+// lazy upper-bound refresh).
+func (h *candHeap) fix0() { h.down(0) }
 
 // Query answers a KB-TIM query with Algorithm 4: incremental NRA top-k
 // aggregation over the partitioned, length-sorted inverted lists, with lazy
 // upper-bound refinement, terminating each round as soon as the heap top is
-// COMPLETE and beats every unseen candidate (Σ_w kb[w]).
+// COMPLETE and beats every unseen candidate (Σ_w kb[w]). With
+// SetQueryParallelism > 1 the IP tables and first partitions load
+// concurrently and each keyword's next partition is speculatively prefetched
+// while the current NRA round runs; all NRA state mutation stays sequential,
+// so the seed trace is identical to the sequential path.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	start := time.Now()
 	// All reads go through a per-query scope: precise I/O accounting with
@@ -232,9 +332,62 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	var dec decCounters
 	states := make([]*kwState, 0, len(q.Topics))
 	var phiQ float64
+	var blocks []*partBlock // consumed query-private (pool-backed) blocks
 	h := &candHeap{}
-	pushed := make(map[uint32]bool)
-	var pending []uint32 // users discovered by the latest partition fetches
+	pushed := pool.Bools(idx.hdr.NumVertices)
+	pending := pool.Uint32s(64)[:0] // users discovered by the latest fetches
+	// fetchSem bounds ALL of this query's concurrent artifact loads — the
+	// parallel IP phase and every speculative partition prefetch — at the
+	// configured parallelism.
+	var fetchSem chan struct{}
+	if idx.par > 1 {
+		fetchSem = make(chan struct{}, idx.par)
+	}
+	// drainPrefetch settles outstanding speculative fetches. They MUST
+	// finish before the query returns: they read through this query's I/O
+	// scope, and the caller may release the index handle (closing the file)
+	// as soon as Query returns. On the success path (fold=true) their
+	// decoded-cache traffic is folded into the query's counters — their
+	// reads are already in the I/O scope, so dropping the counters would
+	// let DecodedHits+Misses drift from IO — and their unconsumed
+	// pool-backed blocks go back to the pools.
+	drainPrefetch := func(fold bool) {
+		for _, st := range states {
+			f := st.pref
+			if f == nil {
+				continue
+			}
+			st.pref = nil
+			<-f.done
+			if fold {
+				dec.add(f.dec)
+			}
+			if f.blk != nil {
+				f.blk.release() // no-op for cache-shared blocks
+			}
+		}
+	}
+	defer func() {
+		drainPrefetch(false)
+		for _, st := range states {
+			if st.covered != nil {
+				pool.PutBools(st.covered)
+			}
+			if st.lists != nil {
+				pool.PutInt32Lists(st.lists)
+			}
+			if st.ipHot != nil {
+				pool.PutBools(st.ipHot)
+			}
+		}
+		for _, blk := range blocks {
+			blk.release()
+		}
+		pool.PutBools(pushed)
+		pool.PutUint32s(pending)
+		candPool.Put(h.s)
+	}()
+
 	for _, w := range q.Topics {
 		d := idx.dirs[w]
 		phiQ += d.Phi
@@ -244,23 +397,61 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			thetaQw:  alloc[w],
 			next:     0,
 			kb:       math.MaxInt32,
-			covered:  make([]bool, alloc[w]),
-			lists:    make(map[uint32][]int32),
+			covered:  pool.Bools(alloc[w]),
+			lists:    pool.Int32Lists(idx.hdr.NumVertices),
+			ipHot:    pool.Bools(idx.hdr.NumVertices),
 			maxParts: len(d.Partitions),
 		}
-		if err := idx.loadIP(r, st, &dec); err != nil {
-			return nil, fmt.Errorf("irrindex: keyword %d IP: %w", w, err)
-		}
 		states = append(states, st)
+	}
+	// Candidates are exactly the users listed in some IL_w, so the summed IP
+	// entry counts bound the heap.
+	hintCands := 0
+	for _, st := range states {
+		hintCands += st.dir.NumIPEntries
+	}
+	h.s = candPool.Get(hintCands)[:0]
+
+	spec := idx.par > 1
+	if spec && len(states) > 1 {
+		// Parallel load phase: every keyword's IP table is fetched and
+		// decoded concurrently (bounded by fetchSem), and its first
+		// partition is kicked off as a speculative fetch the priming loop
+		// consumes.
+		var wg sync.WaitGroup
+		for _, st := range states {
+			wg.Add(1)
+			go func(st *kwState) {
+				defer wg.Done()
+				fetchSem <- struct{}{}
+				defer func() { <-fetchSem }()
+				st.err = idx.loadIP(r, st, &st.dec)
+				if st.err == nil && st.maxParts > 0 {
+					st.pref = idx.prefetchPartition(r, st, fetchSem)
+				}
+			}(st)
+		}
+		wg.Wait()
+		for _, st := range states {
+			dec.add(st.dec)
+			if st.err != nil {
+				return nil, fmt.Errorf("irrindex: keyword %d IP: %w", st.topicID, st.err)
+			}
+		}
+	} else {
+		for _, st := range states {
+			if err := idx.loadIP(r, st, &dec); err != nil {
+				return nil, fmt.Errorf("irrindex: keyword %d IP: %w", st.topicID, err)
+			}
+		}
 	}
 
 	// Prime with the first partition of every keyword.
 	for _, st := range states {
-		users, err := idx.loadNextPartition(r, st, pushed, &dec)
+		pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
 		if err != nil {
 			return nil, err
 		}
-		pending = append(pending, users...)
 	}
 
 	sumKB := func() int {
@@ -271,11 +462,27 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		return total
 	}
 	// ubOf returns the upper-bound score of u and whether it is COMPLETE
-	// (all partial scores exact).
+	// (all partial scores exact). Results are memoized under a version
+	// stamp: the inputs (covered marks, loaded lists, kb) only change when a
+	// seed is picked or a partition-load round completes, and each of those
+	// bumps ubVersion — so the heap's refresh-then-decide double call (and
+	// every flushPending re-push) costs one list scan, not two.
+	ubVersion := int32(1)
+	ubMemo := pool.Int32s(idx.hdr.NumVertices)
+	ubStamp := pool.Int32s(idx.hdr.NumVertices)
+	ubComplete := pool.Bools(idx.hdr.NumVertices)
+	defer func() {
+		pool.PutInt32s(ubMemo)
+		pool.PutInt32s(ubStamp)
+		pool.PutBools(ubComplete)
+	}()
 	ubOf := func(u uint32) (int, bool) {
+		if ubStamp[u] == ubVersion {
+			return int(ubMemo[u]), ubComplete[u]
+		}
 		total, complete := 0, true
 		for _, st := range states {
-			if list, ok := st.lists[u]; ok {
+			if list := st.lists[u]; list != nil {
 				for _, id := range list {
 					if !st.covered[id] {
 						total++
@@ -283,31 +490,45 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 				}
 				continue
 			}
-			fo, listed := st.ip[u]
-			if !listed || int(fo) >= st.thetaQw {
+			if !st.ipHot[u] {
 				continue // exact partial score 0 (line "IP_w[v] ≥ θ^Q_w")
 			}
 			total += st.kb
 			complete = false
 		}
+		ubStamp[u] = ubVersion
+		ubMemo[u] = int32(total)
+		ubComplete[u] = complete
 		return total, complete
 	}
 
-	// flushPending pushes newly discovered users with their CURRENT upper
-	// bound. At push time ubOf(u) is a valid upper bound, and both exact
-	// partial scores and kb only shrink afterwards, so heap entries always
-	// overestimate — the invariant lazy refinement relies on.
+	// flushPending pushes newly discovered users with a CHEAP upper bound:
+	// a loaded list's full length (≥ its uncovered count, no covered scan)
+	// plus kb for every keyword still pending. That is ≥ ubOf(u) at push
+	// time, and exact partial scores and kb only shrink afterwards, so heap
+	// entries always overestimate — the invariant lazy refinement relies
+	// on. The exact (covered-scanning) ubOf runs only for entries that
+	// reach the heap top, which is what makes discovery O(keywords) per
+	// user instead of O(total list length).
 	flushPending := func() {
 		for _, u := range pending {
-			ub, _ := ubOf(u)
-			heap.Push(h, candidate{user: u, ub: ub})
+			ub := 0
+			for _, st := range states {
+				if list := st.lists[u]; list != nil {
+					ub += len(list)
+				} else if st.ipHot[u] {
+					ub += st.kb
+				}
+			}
+			h.push(candidate{user: u, ub: ub})
 		}
 		pending = pending[:0]
 	}
 	flushPending()
 
 	res := &QueryResult{Loaded: make(map[int]int, len(states))}
-	picked := make(map[uint32]bool, q.K)
+	picked := pool.Bools(idx.hdr.NumVertices)
+	defer func() { pool.PutBools(picked) }()
 	// padZeros fills the remaining seed slots with zero-marginal vertices in
 	// exactly coverage.Solve's order: smallest unpicked vertex ID over ALL
 	// vertices, listed in an inverted file or not. Using the candidate heap
@@ -316,15 +537,15 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	// moment marginals hit zero.
 	padZeros := func() {
 		for v := 0; len(res.Seeds) < q.K && v < idx.hdr.NumVertices; v++ {
-			if !picked[uint32(v)] {
-				picked[uint32(v)] = true
+			if !picked[v] {
+				picked[v] = true
 				res.Seeds = append(res.Seeds, uint32(v))
 				res.Marginals = append(res.Marginals, 0)
 			}
 		}
 	}
 	for len(res.Seeds) < q.K {
-		if h.Len() == 0 {
+		if h.len() == 0 {
 			// The heap drained, but undiscovered users in unloaded
 			// partitions may still score positively — padding now would
 			// silently skip them. Keep fetching; pad only once every
@@ -333,14 +554,14 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			progress := false
 			for _, st := range states {
 				if st.next < st.maxParts {
-					users, err := idx.loadNextPartition(r, st, pushed, &dec)
+					pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
 					if err != nil {
 						return nil, err
 					}
-					pending = append(pending, users...)
 					progress = true
 				}
 			}
+			ubVersion++
 			flushPending()
 			if progress {
 				continue
@@ -348,15 +569,15 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			padZeros()
 			break
 		}
-		top := (*h)[0]
+		top := h.s[0]
 		if picked[top.user] {
-			heap.Pop(h)
+			h.pop()
 			continue
 		}
 		ub, complete := ubOf(top.user)
 		if ub != top.ub {
-			(*h)[0].ub = ub
-			heap.Fix(h, 0)
+			h.s[0].ub = ub
+			h.fix0()
 			continue
 		}
 		if complete && ub >= sumKB() {
@@ -368,7 +589,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 				padZeros()
 				break
 			}
-			heap.Pop(h)
+			h.pop()
 			picked[top.user] = true
 			res.Seeds = append(res.Seeds, top.user)
 			res.Marginals = append(res.Marginals, ub)
@@ -378,20 +599,21 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 					st.covered[id] = true
 				}
 			}
+			ubVersion++
 			continue
 		}
 		// Not decidable yet: fetch the next partition of every keyword.
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
-				users, err := idx.loadNextPartition(r, st, pushed, &dec)
+				pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
 				if err != nil {
 					return nil, err
 				}
-				pending = append(pending, users...)
 				progress = true
 			}
 		}
+		ubVersion++
 		flushPending()
 		if !progress {
 			// Everything is loaded, so every candidate is COMPLETE and
@@ -403,6 +625,10 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		}
 	}
 
+	// Settle outstanding speculation BEFORE reading the counters, so the
+	// reported decoded hits/misses cover exactly the lookups whose I/O the
+	// scope recorded.
+	drainPrefetch(true)
 	total := 0
 	for _, st := range states {
 		total += st.thetaQw
@@ -428,6 +654,7 @@ func (idx *Index) loadIP(r diskio.Segmented, st *kwState, dec *decCounters) erro
 			return err
 		}
 		st.ip = ip
+		st.fillIPHot()
 		return nil
 	}
 	v, hit, err := idx.dec.GetOrLoad(
@@ -449,7 +676,18 @@ func (idx *Index) loadIP(r diskio.Segmented, st *kwState, dec *decCounters) erro
 		dec.misses++
 	}
 	st.ip = v.(map[uint32]int32)
+	st.fillIPHot()
 	return nil
+}
+
+// fillIPHot precomputes the "listed below the θ^Q_w horizon" predicate the
+// NRA upper-bound refresh probes for every candidate every round.
+func (st *kwState) fillIPHot() {
+	for u, fo := range st.ip {
+		if int(fo) < st.thetaQw {
+			st.ipHot[u] = true
+		}
+	}
 }
 
 // decodeIP reads and parses a keyword's first-occurrence table through the
@@ -481,37 +719,90 @@ func (idx *Index) decodeIP(r diskio.Segmented, d *KeywordDir) (map[uint32]int32,
 // partBlock is one fully decoded partition: users[i]'s ascending, UNtrimmed
 // inverted list is lists[i]; setIDs are the RR sets first claimed by this
 // block (the IR part — member lists are skipped, queries never need them).
-// Shared read-only through the decoded cache.
+// Cache-shared blocks are read-only and never pooled; query-private blocks
+// (no decoded cache) borrow their backing arrays from the scratch pools
+// (arena backs every lists[i]) and are released at query end.
 type partBlock struct {
 	users  []uint32
 	lists  [][]int32
 	setIDs []uint32
+	arena  []int32 // backing of lists when pool-backed, nil otherwise
 }
 
-// loadNextPartition fetches one partition block (a single random I/O on a
-// decoded-cache miss), merges its inverted lists into st (trimmed to IDs <
-// θ^Q_w by slicing the shared block), counts its RR sets, lowers kb, and
-// returns the users not seen before (the caller pushes them once their
-// cross-keyword upper bound is known).
-func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[uint32]bool, dec *decCounters) ([]uint32, error) {
+// release returns a pool-backed block's arrays; a no-op for shared blocks.
+func (b *partBlock) release() {
+	if b.arena == nil {
+		return
+	}
+	pool.PutUint32s(b.users)
+	pool.PutUint32s(b.setIDs)
+	pool.PutInt32Lists(b.lists)
+	pool.PutInt32s(b.arena)
+	b.arena = nil
+}
+
+// prefetchPartition starts fetching st's next partition in the background
+// and returns the future the next loadNextPartition consumes. The goroutine
+// owns the future's fields until done is closed, and takes a slot on the
+// query's fetch semaphore so speculation honors the parallelism bound.
+func (idx *Index) prefetchPartition(r diskio.Segmented, st *kwState, sem chan struct{}) *partFuture {
+	f := &partFuture{pi: st.next, done: make(chan struct{})}
+	d, t := st.dir, st.thetaQw
+	go func() {
+		defer close(f.done)
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		f.blk, f.err = idx.partition(r, d, f.pi, t, &f.dec)
+	}()
+	return f
+}
+
+// loadNextPartition obtains one partition block — from the keyword's
+// speculative prefetch when one is in flight, else synchronously (a single
+// random I/O on a decoded-cache miss) — merges its inverted lists into st
+// (trimmed to IDs < θ^Q_w by slicing the shared block), counts its RR sets,
+// lowers kb, appends users not seen before to pending (the caller pushes
+// them once their cross-keyword upper bound is known), and, when spec is
+// set, kicks off the NEXT partition's speculative fetch. Query-private
+// blocks are appended to *blocks for release at query end.
+func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed []bool, dec *decCounters, sem chan struct{}, blocks *[]*partBlock, pending []uint32) ([]uint32, error) {
 	if st.next >= st.maxParts {
-		return nil, nil
+		return pending, nil
 	}
 	pi := st.next
+	var blk *partBlock
+	var err error
+	if f := st.pref; f != nil && f.pi == pi {
+		st.pref = nil
+		<-f.done
+		dec.add(f.dec)
+		blk, err = f.blk, f.err
+	} else {
+		blk, err = idx.partition(r, st.dir, pi, st.thetaQw, dec)
+	}
+	if err != nil {
+		return pending, err
+	}
+	if blk.arena != nil {
+		*blocks = append(*blocks, blk)
+	}
 	st.next++
 	st.fetched++
-	blk, err := idx.partition(r, st.dir, pi, st.thetaQw, dec)
-	if err != nil {
-		return nil, err
-	}
-	var newUsers []uint32
 	for i, u := range blk.users {
 		list := blk.lists[i]
-		cut := sort.Search(len(list), func(j int) bool { return list[j] >= int32(st.thetaQw) })
+		cut := len(list)
+		// IDs ascend, so when the last one is inside the θ^Q_w horizon the
+		// whole list survives — the overwhelmingly common case; binary
+		// search only otherwise.
+		if cut > 0 && list[cut-1] >= int32(st.thetaQw) {
+			cut = sort.Search(cut, func(j int) bool { return list[j] >= int32(st.thetaQw) })
+		}
+		// list is never nil (even a fully trimmed one keeps its base
+		// pointer), so a stored entry always reads as "loaded" in ubOf.
 		st.lists[u] = list[:cut]
 		if !pushed[u] {
 			pushed[u] = true
-			newUsers = append(newUsers, u)
+			pending = append(pending, u)
 		}
 	}
 	for _, id := range blk.setIDs {
@@ -529,22 +820,26 @@ func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed map[
 		if st.kb > st.thetaQw {
 			st.kb = st.thetaQw
 		}
+		if sem != nil && st.pref == nil {
+			st.pref = idx.prefetchPartition(r, st, sem)
+		}
 	}
-	return newUsers, nil
+	return pending, nil
 }
 
 // partition returns one decoded partition block, through the decoded cache
-// when attached. Without a cache the block is query-private, so its lists
-// are trimmed to IDs < thetaQw during decode; the cached artifact is
-// decoded in full because it is shared by queries with different θ^Q_w.
+// when attached. Without a cache the block is query-private and pool-backed,
+// so its lists are trimmed to IDs < thetaQw during decode; the cached
+// artifact is decoded in full (and never pooled) because it is shared by
+// queries with different θ^Q_w.
 func (idx *Index) partition(r diskio.Segmented, d *KeywordDir, pi, thetaQw int, dec *decCounters) (*partBlock, error) {
 	if idx.dec == nil {
-		return idx.decodePartition(r, d, pi, thetaQw)
+		return idx.decodePartition(r, d, pi, thetaQw, true)
 	}
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionPart, Topic: int32(d.TopicID), Aux: int64(pi)},
 		func() (any, int64, error) {
-			blk, err := idx.decodePartition(r, d, pi, int(d.ThetaW))
+			blk, err := idx.decodePartition(r, d, pi, int(d.ThetaW), false)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -567,22 +862,32 @@ func (idx *Index) partition(r diskio.Segmented, d *KeywordDir, pi, thetaQw int, 
 
 // decodePartition reads and decodes partition pi of keyword d: the IL
 // part's user lists trimmed to RR-set IDs < limit (IDs ascend, so the kept
-// part is a prefix), and the IR part's RR-set IDs only, stepping over the
-// member lists with SkipList instead of materializing them just to be
-// thrown away.
-func (idx *Index) decodePartition(r diskio.Segmented, d *KeywordDir, pi, limit int) (*partBlock, error) {
+// part is a prefix), and the IR part's claimed-ID list only — the v2 layout
+// fronts those IDs and length-prefixes the member lists, so nothing steps
+// over member bytes at all. A pooled block borrows its backing arrays from the scratch
+// pools; its arena is pre-sized to the partition's byte length (a safe upper
+// bound on decoded entries — every entry costs at least one byte), so the
+// per-user subslices never move.
+func (idx *Index) decodePartition(r diskio.Segmented, d *KeywordDir, pi, limit int, pooled bool) (*partBlock, error) {
 	p := d.Partitions[pi]
 	buf, err := r.ReadSegment(p.Off, p.Len)
 	if err != nil {
 		return nil, err
 	}
 	br := binfmt.NewReader(buf)
-	blk := &partBlock{
-		users:  make([]uint32, 0, p.NumUsers),
-		lists:  make([][]int32, 0, p.NumUsers),
-		setIDs: make([]uint32, 0, p.NumSets),
+	blk := &partBlock{}
+	if pooled {
+		blk.users = pool.Uint32s(p.NumUsers)[:0]
+		blk.lists = pool.Int32Lists(p.NumUsers)[:0]
+		blk.setIDs = pool.Uint32s(p.NumSets)[:0]
+		blk.arena = pool.Int32s(int(p.Len))[:0]
+	} else {
+		blk.users = make([]uint32, 0, p.NumUsers)
+		blk.lists = make([][]int32, 0, p.NumUsers)
+		blk.setIDs = make([]uint32, 0, p.NumSets)
 	}
-	scratch := make([]uint32, 0, 64)
+	scratch := pool.Uint32s(64)[:0]
+	defer func() { pool.PutUint32s(scratch) }()
 	for i := 0; i < p.NumUsers; i++ {
 		v := br.Uvarint()
 		if br.Err() != nil {
@@ -602,30 +907,47 @@ func (idx *Index) decodePartition(r diskio.Segmented, d *KeywordDir, pi, limit i
 		for cut > 0 && scratch[cut-1] >= uint32(limit) {
 			cut--
 		}
-		list := make([]int32, cut)
-		for j, id := range scratch[:cut] {
-			list[j] = int32(id)
+		var list []int32
+		if pooled {
+			start := len(blk.arena)
+			for _, id := range scratch[:cut] {
+				blk.arena = append(blk.arena, int32(id))
+			}
+			list = blk.arena[start:len(blk.arena):len(blk.arena)]
+		} else {
+			list = make([]int32, cut)
+			for j, id := range scratch[:cut] {
+				list[j] = int32(id)
+			}
 		}
 		blk.users = append(blk.users, uint32(v))
 		blk.lists = append(blk.lists, list)
 	}
-	for i := 0; i < p.NumSets; i++ {
-		id := br.Uvarint()
-		if br.Err() != nil {
-			return nil, br.Err()
-		}
-		if id >= uint64(d.ThetaW) {
+	// IR part v2: one compressed list of claimed set IDs, then the member
+	// lists behind a byte-length prefix. Queries only need the IDs, so
+	// decode stops after the length check — no scan over member bytes.
+	scratch = scratch[:0]
+	var n int
+	scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[br.Pos():])
+	if err != nil {
+		return nil, err
+	}
+	br.Bytes(n)
+	if len(scratch) != p.NumSets {
+		return nil, fmt.Errorf("%w: partition claims %d sets, directory says %d", ErrBadFormat, len(scratch), p.NumSets)
+	}
+	for _, id := range scratch {
+		if uint64(id) >= uint64(d.ThetaW) {
 			return nil, fmt.Errorf("%w: partition set ID %d out of range", ErrBadFormat, id)
 		}
-		n, err := idx.hdr.Compression.SkipList(buf[br.Pos():])
-		if err != nil {
-			return nil, err
-		}
-		br.Bytes(n)
-		blk.setIDs = append(blk.setIDs, uint32(id))
+		blk.setIDs = append(blk.setIDs, id)
 	}
-	if br.Remaining() != 0 {
-		return nil, fmt.Errorf("%w: partition has trailing bytes", ErrBadFormat)
+	memberBytes := br.Uvarint()
+	if br.Err() != nil {
+		return nil, br.Err()
+	}
+	if uint64(br.Remaining()) != memberBytes {
+		return nil, fmt.Errorf("%w: partition member region is %d bytes, prefix says %d", ErrBadFormat, br.Remaining(), memberBytes)
 	}
 	return blk, nil
 }

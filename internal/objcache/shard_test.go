@@ -1,0 +1,232 @@
+package objcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestNewShardedRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16}, {64, 64},
+	} {
+		if got := NewSharded(1<<20, tc.n).Shards(); got != tc.want {
+			t.Errorf("NewSharded(_, %d).Shards() = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+	auto := NewSharded(1<<20, 0).Shards()
+	if auto < 1 || auto&(auto-1) != 0 {
+		t.Fatalf("auto shard count %d is not a positive power of two", auto)
+	}
+	if New(1<<20).Shards() != 1 {
+		t.Fatal("New must stay single-shard (exact LRU semantics)")
+	}
+}
+
+// TestShardedKeysSpread sanity-checks the key hash: distinct topics and
+// partition indexes must not all collapse onto one shard.
+func TestShardedKeysSpread(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	seen := map[*shard]bool{}
+	for topic := int32(0); topic < 64; topic++ {
+		for aux := int64(0); aux < 4; aux++ {
+			seen[c.shardFor(Key{Region: 1, Topic: topic, Aux: aux})] = true
+		}
+	}
+	if len(seen) < 4 {
+		t.Fatalf("256 keys landed on only %d of 8 shards", len(seen))
+	}
+}
+
+// TestShardedConcurrentGetAddEvict hammers a small sharded cache from many
+// goroutines (run under -race): values must always match their key's loader,
+// and no shard may exceed its budget share.
+func TestShardedConcurrentGetAddEvict(t *testing.T) {
+	const budget = 4096
+	c := NewSharded(budget, 8)
+	const goroutines, rounds, keys = 16, 300, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				topic := int32((g*7 + i) % keys)
+				k := Key{Region: Region(i % 2), Topic: topic}
+				want := fmt.Sprintf("val-%d-%d", k.Region, topic)
+				v, _, err := c.GetOrLoad(k, func() (any, int64, error) {
+					return want, 64, nil
+				})
+				if err != nil || v != want {
+					t.Errorf("key %+v: v=%v err=%v", k, v, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.BytesCached > budget {
+		t.Fatalf("over budget after concurrency: %+v", s)
+	}
+	if s.Hits+s.Misses+s.Shared != goroutines*rounds {
+		t.Fatalf("lookup accounting lost calls: %+v", s)
+	}
+	for i, sh := range c.shards {
+		sh.mu.Lock()
+		used, max := sh.used, sh.budget
+		sh.mu.Unlock()
+		if used > max {
+			t.Fatalf("shard %d over its budget: %d > %d", i, used, max)
+		}
+	}
+}
+
+// TestShardedSingleflight: concurrent lookups of one missing key collapse to
+// a single load even though other keys (on other shards) load in parallel.
+func TestShardedSingleflight(t *testing.T) {
+	c := NewSharded(1<<20, 8)
+	hot := Key{Region: 1, Topic: 99}
+	var hotLoads atomic.Int64
+	release := make(chan struct{})
+
+	const waiters = 12
+	var wg sync.WaitGroup
+	for g := 0; g < waiters; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, _, err := c.GetOrLoad(hot, func() (any, int64, error) {
+				hotLoads.Add(1)
+				<-release
+				return "hot", 8, nil
+			})
+			if err != nil || v != "hot" {
+				t.Errorf("hot: v=%v err=%v", v, err)
+			}
+		}()
+	}
+	// While the hot flight is held open, other keys must still be loadable:
+	// the flight must not pin any lock that other shards (or even the same
+	// shard's map) need.
+	for c.Stats().Shared < waiters-1 {
+	}
+	for topic := int32(0); topic < 16; topic++ {
+		if _, _, err := c.GetOrLoad(Key{Region: 0, Topic: topic}, func() (any, int64, error) {
+			return topic, 8, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	wg.Wait()
+	if n := hotLoads.Load(); n != 1 {
+		t.Fatalf("hot loader ran %d times for %d concurrent callers", n, waiters)
+	}
+	s := c.Stats()
+	if s.Shared != waiters-1 {
+		t.Fatalf("stats %+v, want %d shared", s, waiters-1)
+	}
+}
+
+// TestShardedStatsAggregation inserts a known population across shards and
+// checks the aggregated snapshot adds up.
+func TestShardedStatsAggregation(t *testing.T) {
+	c := NewSharded(1<<20, 4)
+	const n = 32
+	for topic := int32(0); topic < n; topic++ {
+		if _, _, err := c.GetOrLoad(Key{Topic: topic}, func() (any, int64, error) {
+			return topic, 10, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for topic := int32(0); topic < n; topic += 2 {
+		_, hit, err := c.GetOrLoad(Key{Topic: topic}, func() (any, int64, error) {
+			return topic, 10, nil
+		})
+		if err != nil || !hit {
+			t.Fatalf("topic %d not cached (hit=%v err=%v)", topic, hit, err)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != n || s.Hits != n/2 || s.Entries != n || s.BytesCached != n*10 {
+		t.Fatalf("aggregated stats %+v", s)
+	}
+	if s.BudgetBytes != 1<<20 {
+		t.Fatalf("budget reports the per-shard slice, not the total: %+v", s)
+	}
+	c.Purge()
+	if s := c.Stats(); s.Entries != 0 || s.BytesCached != 0 || s.Misses != n {
+		t.Fatalf("post-purge stats %+v", s)
+	}
+}
+
+// TestRebalanceShiftsBudgetTowardHotRegion: after one region earns far more
+// hits per byte than another, Rebalance must give it the larger target, and
+// eviction must then sacrifice the cold region even when plain LRU would
+// have evicted the hot one.
+func TestRebalanceShiftsBudgetTowardHotRegion(t *testing.T) {
+	c := New(1000) // single shard: deterministic LRU order
+	load := func(r Region, topic int32) {
+		if _, _, err := c.GetOrLoad(Key{Region: r, Topic: topic}, func() (any, int64, error) {
+			return topic, 100, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int32(0); i < 5; i++ {
+		load(0, i) // hot region
+	}
+	for i := int32(0); i < 5; i++ {
+		load(1, 100+i) // cold region
+	}
+	// Region 0 earns many hits; region 1 is touched once per entry, LAST, so
+	// its entries sit at the LRU front and plain LRU would evict region 0.
+	for round := 0; round < 10; round++ {
+		for i := int32(0); i < 5; i++ {
+			load(0, i)
+		}
+	}
+	for i := int32(0); i < 5; i++ {
+		load(1, 100+i)
+	}
+	c.Rebalance()
+	if hot, cold := c.RegionTarget(0), c.RegionTarget(1); hot <= cold {
+		t.Fatalf("hot region target %d not above cold %d", hot, cold)
+	}
+	// Inserting one more cold entry must evict a COLD entry (over target),
+	// not the LRU-back hot one.
+	load(1, 200)
+	if used := c.RegionUsed(0); used != 500 {
+		t.Fatalf("hot region shrank to %d bytes; eviction ignored targets", used)
+	}
+	if used := c.RegionUsed(1); used != 500 {
+		t.Fatalf("cold region used %d bytes, want 500 after evicting its own", used)
+	}
+	s := c.Stats()
+	if s.BytesCached > 1000 {
+		t.Fatalf("over budget: %+v", s)
+	}
+}
+
+// TestRebalanceSingleRegionUnconstrained: with one region in play the
+// budgeter must not constrain anything.
+func TestRebalanceSingleRegionUnconstrained(t *testing.T) {
+	c := New(1000)
+	for i := int32(0); i < 5; i++ {
+		if _, _, err := c.GetOrLoad(Key{Region: 3, Topic: i}, func() (any, int64, error) {
+			return i, 100, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Rebalance()
+	if c.hasTargets.Load() {
+		t.Fatal("single-region cache grew targets")
+	}
+	if c.RegionTarget(3) != 0 {
+		t.Fatalf("single region target %d, want 0", c.RegionTarget(3))
+	}
+}

@@ -1,0 +1,105 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassRounding(t *testing.T) {
+	for _, tc := range []struct{ n, wantCap int }{
+		{0, 64}, {1, 64}, {64, 64}, {65, 128}, {128, 128}, {129, 256}, {4096, 4096},
+	} {
+		s := Ints(tc.n)
+		if len(s) != tc.n || cap(s) != tc.wantCap {
+			t.Errorf("Ints(%d): len=%d cap=%d, want len=%d cap=%d", tc.n, len(s), cap(s), tc.n, tc.wantCap)
+		}
+		PutInts(s)
+	}
+}
+
+func TestGetReturnsZeroedAfterDirtyPut(t *testing.T) {
+	s := Bools(100)
+	for i := range s {
+		s[i] = true
+	}
+	PutBools(s)
+	// Ask for a LONGER slice of the same class: every element, including the
+	// tail beyond the previous user's length, must be false again.
+	s2 := Bools(128)
+	for i, v := range s2 {
+		if v {
+			t.Fatalf("recycled slice dirty at %d", i)
+		}
+	}
+	PutBools(s2)
+
+	lists := Int32Lists(10)
+	lists[3] = []int32{1, 2, 3}
+	PutInt32Lists(lists)
+	lists2 := Int32Lists(16)
+	for i, l := range lists2 {
+		if l != nil {
+			t.Fatalf("recycled list table retains inner slice at %d", i)
+		}
+	}
+	PutInt32Lists(lists2)
+}
+
+func TestPutGrownByAppend(t *testing.T) {
+	s := Uint32s(10)
+	s = append(s[:0], make([]uint32, 500)...) // force growth past the class
+	PutUint32s(s)                             // must re-class or drop, never corrupt
+	big := Uint32s(500)
+	if len(big) != 500 {
+		t.Fatalf("len %d", len(big))
+	}
+	for i, v := range big {
+		if v != 0 {
+			t.Fatalf("dirty at %d", i)
+		}
+	}
+	PutUint32s(big)
+}
+
+func TestHugeRequestsBypassPool(t *testing.T) {
+	n := 1 << 26
+	s := Int32s(n)
+	if len(s) != n {
+		t.Fatalf("len %d", len(s))
+	}
+	PutInt32s(s[:0]) // dropping an unpoolable slice must be a no-op
+}
+
+// TestConcurrentUse hammers the shared pools from many goroutines under
+// -race: every Get must observe fully zeroed state.
+func TestConcurrentUse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := 50 + (g*31+i)%400
+				b := Bools(n)
+				for j := range b {
+					if b[j] {
+						t.Errorf("dirty bool at %d", j)
+						return
+					}
+					b[j] = true
+				}
+				PutBools(b)
+				u := Uint32s(n)
+				for j := range u {
+					if u[j] != 0 {
+						t.Errorf("dirty uint32 at %d", j)
+						return
+					}
+					u[j] = 0xDEAD
+				}
+				PutUint32s(u)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

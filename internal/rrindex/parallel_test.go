@@ -1,0 +1,137 @@
+package rrindex
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kbtim/internal/codec"
+	"kbtim/internal/diskio"
+	"kbtim/internal/gen"
+	"kbtim/internal/objcache"
+	"kbtim/internal/prop"
+	"kbtim/internal/topic"
+	"kbtim/internal/wris"
+)
+
+// newsIndexBytes builds a News-like RR index over 6 topics.
+func newsIndexBytes(t testing.TB) []byte {
+	t.Helper()
+	g, err := gen.NewsLike(gen.NewsLikeConfig{N: 400, AvgDegree: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := gen.Profiles(gen.DefaultProfilesConfig(400, 6, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := wris.Config{
+		Epsilon:            0.4,
+		K:                  20,
+		PilotSets:          800,
+		MaxThetaPerKeyword: 8000,
+		Seed:               11,
+		Workers:            2,
+	}
+	var buf bytes.Buffer
+	if _, err := Build(&buf, g, prop.IC{}, prof, cfg, BuildOptions{Compression: codec.Delta}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestQueryParallelismParity: the parallel artifact-load path must return
+// byte-for-byte the sequential path's results — seeds, marginals, spread,
+// loaded counts, and bytes read — with and without a decoded cache.
+func TestQueryParallelismParity(t *testing.T) {
+	raw := newsIndexBytes(t)
+	queries := []topic.Query{
+		{Topics: []int{0}, K: 5},
+		{Topics: []int{0, 2}, K: 8},
+		{Topics: []int{1, 3, 5}, K: 10},
+		{Topics: []int{0, 1, 2, 3, 4, 5}, K: 12},
+	}
+	for _, cached := range []bool{false, true} {
+		seq, err := Open(diskio.NewMem(raw, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := Open(diskio.NewMem(raw, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		par.SetQueryParallelism(4)
+		if cached {
+			seq.SetDecodedCache(objcache.New(16 << 20))
+			par.SetDecodedCache(objcache.NewSharded(16<<20, 4))
+		}
+		for qi, q := range queries {
+			a, err := seq.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := par.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) ||
+				!reflect.DeepEqual(a.Marginals, b.Marginals) ||
+				a.EstSpread != b.EstSpread ||
+				a.NumRRSets != b.NumRRSets ||
+				!reflect.DeepEqual(a.Loaded, b.Loaded) {
+				t.Fatalf("cached=%v query %d diverged:\n seq %v / %v / %v\n par %v / %v / %v",
+					cached, qi, a.Seeds, a.Marginals, a.EstSpread, b.Seeds, b.Marginals, b.EstSpread)
+			}
+			if a.IO.BytesRead != b.IO.BytesRead {
+				t.Fatalf("cached=%v query %d read different bytes: seq %d par %d",
+					cached, qi, a.IO.BytesRead, b.IO.BytesRead)
+			}
+		}
+	}
+}
+
+// TestQueryParallelConcurrent hammers one shared parallel-loading index with
+// a sharded decoded cache from many goroutines (run under -race).
+func TestQueryParallelConcurrent(t *testing.T) {
+	raw := newsIndexBytes(t)
+	idx, err := Open(diskio.NewMem(raw, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx.SetQueryParallelism(3)
+	idx.SetDecodedCache(objcache.NewSharded(1<<20, 8)) // small: force evictions
+	queries := []topic.Query{
+		{Topics: []int{0, 2}, K: 8},
+		{Topics: []int{1, 3, 5}, K: 10},
+		{Topics: []int{2, 4}, K: 6},
+	}
+	baseline := make([]*QueryResult, len(queries))
+	for i, q := range queries {
+		if baseline[i], err = idx.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines, rounds = 8, 6
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (g + i) % len(queries)
+				res, err := idx.Query(queries[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want := baseline[qi]
+				if !reflect.DeepEqual(res.Seeds, want.Seeds) || res.EstSpread != want.EstSpread {
+					t.Errorf("query %d diverged under concurrency", qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

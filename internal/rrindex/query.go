@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"kbtim/internal/coverage"
 	"kbtim/internal/diskio"
 	"kbtim/internal/objcache"
+	"kbtim/internal/pool"
 	"kbtim/internal/rrset"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
@@ -32,6 +34,7 @@ type Index struct {
 	dirs map[int]*KeywordDir
 	r    diskio.Segmented
 	dec  *objcache.Cache // optional decoded-object cache, set before first Query
+	par  int             // per-query artifact-load parallelism, set before first Query
 }
 
 // Open parses the header and directory of an index accessible through r.
@@ -84,6 +87,14 @@ func Open(r diskio.Segmented) (*Index, error) {
 // their private θ^Q_w by slicing.
 func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
 
+// SetQueryParallelism bounds how many keywords one Query fetches and
+// decodes concurrently (<= 1 keeps the fully sequential path). Seeds and
+// spreads are identical either way — artifacts are merged in keyword order
+// after the parallel fetch — only latency and the sequential/random shape of
+// per-query I/O stats change. Must be called before the index is shared
+// between goroutines (i.e. right after Open).
+func (idx *Index) SetQueryParallelism(n int) { idx.par = n }
+
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
 
@@ -121,6 +132,13 @@ type QueryResult struct {
 // decCounters accumulates one query's decoded-cache traffic.
 type decCounters struct {
 	hits, misses int64
+}
+
+// add folds another goroutine's counters in (used after a parallel fetch
+// phase joins; never called concurrently).
+func (d *decCounters) add(o decCounters) {
+	d.hits += o.hits
+	d.misses += o.misses
 }
 
 // Plan computes θ^Q and the per-keyword allocation θ^Q_w = θ^Q·p_w of
@@ -177,8 +195,24 @@ type setsView struct {
 	batch *rrset.Batch
 }
 
+// kwArtifacts is one keyword's fetched-and-decoded state from the parallel
+// load phase, merged sequentially afterwards.
+type kwArtifacts struct {
+	batch *rrset.Batch
+	inv   *invTable // cache-shared table (decoded-cache path), nil otherwise
+	// pverts/pids are the private pre-trimmed (vertex, RR-ID) pairs of the
+	// cache-free path, pool-backed.
+	pverts []uint32
+	pids   []int32
+	dec    decCounters
+	err    error
+}
+
 // Query answers a KB-TIM query with Algorithm 2: load θ^Q_w RR sets and the
 // inverted file of every query keyword, then run greedy maximum coverage.
+// With SetQueryParallelism > 1 the per-keyword fetch+decode runs
+// concurrently (bounded), and the merge into query state stays sequential in
+// keyword order, so results are identical to the sequential path.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	start := time.Now()
 	// All reads go through a per-query scope: precise I/O accounting with
@@ -192,41 +226,126 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	var dec decCounters
 	views := make([]setsView, 0, len(q.Topics))
-	lists := make([][]int32, idx.hdr.NumVertices)
+	lists := pool.Int32Lists(idx.hdr.NumVertices)
+	defer pool.PutInt32Lists(lists)
 	offset := int32(0)
 	loaded := make(map[int]int, len(alloc))
 	var phiQ float64
-	for _, w := range q.Topics {
+
+	// Fetch phase: every keyword's set prefix and inverted artifact is
+	// fetched and decoded into private (or cache-shared) state — nothing
+	// query-global is touched until the merge. With parallelism > 1 the
+	// keywords load concurrently (bounded); the merge below is sequential in
+	// keyword order either way, so results are identical.
+	arts := make([]kwArtifacts, len(q.Topics))
+	fetchOne := func(a *kwArtifacts, d *KeywordDir, t int) {
+		a.batch, a.err = idx.setsPrefix(r, d, t, &a.dec)
+		if a.err != nil {
+			return
+		}
+		if idx.dec == nil {
+			a.pverts, a.pids, a.err = idx.decodeInvPairs(r, d, t)
+		} else {
+			a.inv, a.err = idx.invTable(r, d, &a.dec)
+		}
+	}
+	par := idx.par
+	if par > len(q.Topics) {
+		par = len(q.Topics)
+	}
+	if par > 1 {
+		sem := make(chan struct{}, par)
+		var wg sync.WaitGroup
+		for i, w := range q.Topics {
+			wg.Add(1)
+			go func(a *kwArtifacts, d *KeywordDir, t int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				fetchOne(a, d, t)
+			}(&arts[i], idx.dirs[w], alloc[w])
+		}
+		wg.Wait()
+	} else {
+		for i, w := range q.Topics {
+			fetchOne(&arts[i], idx.dirs[w], alloc[w])
+			if arts[i].err != nil {
+				break // later keywords keep zero artifacts; merge reports the error
+			}
+		}
+	}
+	defer func() {
+		for i := range arts {
+			if arts[i].pverts != nil {
+				pool.PutUint32s(arts[i].pverts)
+				pool.PutInt32s(arts[i].pids)
+			}
+			if idx.dec == nil && arts[i].batch != nil {
+				// Query-private pool-backed batches (never cache-shared).
+				pool.PutUint32s(arts[i].batch.Flat)
+				pool.PutInt64s(arts[i].batch.Off)
+			}
+		}
+	}()
+	for i, w := range q.Topics {
+		a := &arts[i]
+		dec.add(a.dec)
+		if a.err != nil {
+			return nil, fmt.Errorf("rrindex: keyword %d: %w", w, a.err)
+		}
+	}
+
+	// Merge pass 1: per-vertex pair counts, so the query lists can live in
+	// ONE pooled arena instead of thousands of per-vertex appends.
+	counts := pool.Ints(idx.hdr.NumVertices)
+	defer pool.PutInts(counts)
+	totalPairs := 0
+	for i := range arts {
+		a := &arts[i]
+		t := alloc[q.Topics[i]]
+		if a.inv != nil {
+			for j, v := range a.inv.verts {
+				cut := trimLen(a.inv.lists[j], t)
+				counts[v] += cut
+				totalPairs += cut
+			}
+		} else {
+			for _, v := range a.pverts {
+				counts[v]++
+			}
+			totalPairs += len(a.pverts)
+		}
+	}
+	arena := pool.Int32s(totalPairs)
+	defer pool.PutInt32s(arena)
+	pos := 0
+	for v, n := range counts {
+		if n > 0 {
+			lists[v] = arena[pos : pos : pos+n]
+			pos += n
+		}
+	}
+	// Merge pass 2: fill in keyword order — per-vertex IDs ascend within a
+	// keyword and offsets grow across keywords, exactly the order the
+	// one-pass merge produced.
+	for i, w := range q.Topics {
+		a := &arts[i]
 		d := idx.dirs[w]
 		phiQ += d.Phi
 		t := alloc[w]
-		batch, err := idx.setsPrefix(r, d, t, &dec)
-		if err != nil {
-			return nil, fmt.Errorf("rrindex: keyword %d sets: %w", w, err)
-		}
-		if idx.dec == nil {
-			// No decoded cache: merge straight from the decode scratch into
-			// the query-private lists, with no intermediate table.
-			if err := idx.mergeInverted(r, d, t, offset, lists); err != nil {
-				return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
-			}
-		} else {
-			inv, err := idx.invTable(r, d, &dec)
-			if err != nil {
-				return nil, fmt.Errorf("rrindex: keyword %d inverted: %w", w, err)
-			}
-			// Merge into the query-private lists, trimming each (ascending)
-			// RR-ID list to IDs < θ^Q_w and applying the global offset. The
-			// cached table itself is never modified.
-			for i, v := range inv.verts {
-				list := inv.lists[i]
-				cut := sort.Search(len(list), func(j int) bool { return list[j] >= int32(t) })
-				for _, id := range list[:cut] {
+		if a.inv != nil {
+			for j, v := range a.inv.verts {
+				list := a.inv.lists[j]
+				for _, id := range list[:trimLen(list, t)] {
 					lists[v] = append(lists[v], id+offset)
 				}
 			}
+		} else {
+			for j, v := range a.pverts {
+				lists[v] = append(lists[v], a.pids[j]+offset)
+			}
 		}
-		views = append(views, setsView{start: offset, batch: batch})
+		views = append(views, setsView{start: offset, batch: a.batch})
 		offset += int32(t)
 		loaded[w] = t
 	}
@@ -267,18 +386,25 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	}, nil
 }
 
+// trimLen returns how many leading IDs of the ascending list are below the
+// θ^Q_w horizon t (the per-query trim of a shared, untrimmed cached list).
+func trimLen(list []int32, t int) int {
+	return sort.Search(len(list), func(j int) bool { return list[j] >= int32(t) })
+}
+
 // setsPrefix returns keyword d's first t RR sets as a batch, served from the
 // decoded cache when one is attached (key includes the θ-prefix t, so every
 // distinct prefix is its own artifact, exactly as hot repeated queries
-// produce).
+// produce). Without a cache the batch is query-private and pool-backed; the
+// caller returns it after the solve.
 func (idx *Index) setsPrefix(r diskio.Segmented, d *KeywordDir, t int, dec *decCounters) (*rrset.Batch, error) {
 	if idx.dec == nil {
-		return idx.decodeSets(r, d, t)
+		return idx.decodeSets(r, d, t, true)
 	}
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionSets, Topic: int32(d.TopicID), Aux: int64(t)},
 		func() (any, int64, error) {
-			b, err := idx.decodeSets(r, d, t)
+			b, err := idx.decodeSets(r, d, t, false)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -297,15 +423,26 @@ func (idx *Index) setsPrefix(r diskio.Segmented, d *KeywordDir, t int, dec *decC
 
 // decodeSets fetches the first t RR sets of keyword d in one sequential
 // segment read through the query's scope and decodes them into a fresh
-// batch.
-func (idx *Index) decodeSets(r diskio.Segmented, d *KeywordDir, t int) (*rrset.Batch, error) {
+// batch. A pooled batch borrows its backing arrays from the scratch pools
+// (query-private use only — NEVER for a batch published to the decoded
+// cache, whose artifacts are shared and immutable).
+func (idx *Index) decodeSets(r diskio.Segmented, d *KeywordDir, t int, pooled bool) (*rrset.Batch, error) {
 	buf, err := r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
 	if err != nil {
 		return nil, err
 	}
 	batch := &rrset.Batch{}
+	if pooled {
+		// Flat's decoded length is unknown before the decode; half the
+		// compressed byte count is a workable hint (delta-varint members
+		// average ~2 bytes) and the pool's class fall-through absorbs the
+		// rest. Off is exactly t+1 entries.
+		batch.Flat = pool.Uint32s(len(buf) / 2)[:0]
+		batch.Off = pool.Int64s(t + 1)[:0]
+	}
 	pos := 0
-	scratch := make([]uint32, 0, 64)
+	scratch := pool.Uint32s(64)[:0]
+	defer func() { pool.PutUint32s(scratch) }()
 	for i := 0; i < t; i++ {
 		scratch = scratch[:0]
 		var n int
@@ -325,23 +462,52 @@ func (idx *Index) decodeSets(r diskio.Segmented, d *KeywordDir, t int) (*rrset.B
 }
 
 // invTable is one keyword's fully decoded inverted region: verts[i]'s
-// ascending, UNtrimmed RR-set IDs are lists[i]. Shared read-only through the
+// ascending, UNtrimmed RR-ID lists are lists[i]. Shared read-only through the
 // decoded cache; queries trim by slicing.
 type invTable struct {
 	verts []uint32
 	lists [][]int32
 }
 
-// mergeInverted is the cache-free fast path: it fetches keyword d's whole
-// inverted region (one sequential read), keeps only RR IDs < t, applies the
-// global ID offset, and merges directly into lists.
-func (idx *Index) mergeInverted(r diskio.Segmented, d *KeywordDir, t int, offset int32, lists [][]int32) error {
+// decodeInvPairs is the cache-free path's inverted-region decode: keyword
+// d's inverted region becomes private pool-backed (vertex, RR-ID) pairs
+// trimmed to IDs < t, which the merge phase folds into the query lists. The
+// caller returns both slices to the pools.
+func (idx *Index) decodeInvPairs(r diskio.Segmented, d *KeywordDir, t int) ([]uint32, []int32, error) {
+	// Pair count is bounded by the region's entry count; half the compressed
+	// byte length is a workable capacity hint (IDs are ~2 varint bytes) and
+	// the pool's class fall-through absorbs the rest.
+	hint := int(d.InvLen / 2)
+	verts := pool.Uint32s(hint)[:0]
+	ids := pool.Int32s(hint)[:0]
+	err := idx.walkInv(r, d, func(v uint32, list []uint32) {
+		for _, id := range list {
+			if id >= uint32(t) {
+				break
+			}
+			verts = append(verts, v)
+			ids = append(ids, int32(id))
+		}
+	})
+	if err != nil {
+		pool.PutUint32s(verts)
+		pool.PutInt32s(ids)
+		return nil, nil, err
+	}
+	return verts, ids, nil
+}
+
+// walkInv fetches keyword d's whole inverted region (one sequential read)
+// and streams each (vertex, ascending RR-ID list) pair through fn; the list
+// aliases decode scratch and must not be retained.
+func (idx *Index) walkInv(r diskio.Segmented, d *KeywordDir, fn func(v uint32, ids []uint32)) error {
 	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
 	if err != nil {
 		return err
 	}
 	pos := 0
-	scratch := make([]uint32, 0, 64)
+	scratch := pool.Uint32s(64)[:0]
+	defer func() { pool.PutUint32s(scratch) }()
 	for i := 0; i < d.NumInvLists; i++ {
 		v, n := binary.Uvarint(buf[pos:])
 		if n <= 0 || v >= uint64(idx.hdr.NumVertices) {
@@ -354,12 +520,7 @@ func (idx *Index) mergeInverted(r diskio.Segmented, d *KeywordDir, t int, offset
 			return err
 		}
 		pos += n
-		for _, id := range scratch {
-			if id >= uint32(t) {
-				break // IDs ascend; the rest are beyond θ^Q_w
-			}
-			lists[v] = append(lists[v], int32(id)+offset)
-		}
+		fn(uint32(v), scratch)
 	}
 	if pos != len(buf) {
 		return fmt.Errorf("%w: inverted region has %d trailing bytes", ErrBadFormat, len(buf)-pos)
@@ -396,39 +557,23 @@ func (idx *Index) invTable(r diskio.Segmented, d *KeywordDir, dec *decCounters) 
 }
 
 // decodeInv fetches the whole inverted region of keyword d (one sequential
-// read) and decodes every list in full, for the shared cached artifact.
+// read) and decodes every list in full, for the shared cached artifact
+// (never pool-backed: cached values outlive the query).
 func (idx *Index) decodeInv(r diskio.Segmented, d *KeywordDir) (*invTable, error) {
-	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
-	if err != nil {
-		return nil, err
-	}
 	tbl := &invTable{
 		verts: make([]uint32, 0, d.NumInvLists),
 		lists: make([][]int32, 0, d.NumInvLists),
 	}
-	pos := 0
-	scratch := make([]uint32, 0, 64)
-	for i := 0; i < d.NumInvLists; i++ {
-		v, n := binary.Uvarint(buf[pos:])
-		if n <= 0 || v >= uint64(idx.hdr.NumVertices) {
-			return nil, fmt.Errorf("%w: bad inverted-list vertex", ErrBadFormat)
-		}
-		pos += n
-		scratch = scratch[:0]
-		scratch, n, err = idx.hdr.Compression.DecodeList(scratch, buf[pos:])
-		if err != nil {
-			return nil, err
-		}
-		pos += n
-		list := make([]int32, len(scratch))
-		for j, id := range scratch {
+	err := idx.walkInv(r, d, func(v uint32, ids []uint32) {
+		list := make([]int32, len(ids))
+		for j, id := range ids {
 			list[j] = int32(id)
 		}
-		tbl.verts = append(tbl.verts, uint32(v))
+		tbl.verts = append(tbl.verts, v)
 		tbl.lists = append(tbl.lists, list)
-	}
-	if pos != len(buf) {
-		return nil, fmt.Errorf("%w: inverted region has %d trailing bytes", ErrBadFormat, len(buf)-pos)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
