@@ -84,6 +84,9 @@ func BenchmarkAblationGreedy(b *testing.B) {
 func BenchmarkThroughput(b *testing.B) {
 	runExperiment(b, "throughput", bench.Throughput)
 }
+func BenchmarkShardedThroughput(b *testing.B) {
+	runExperiment(b, "sharded", bench.ShardedThroughput)
+}
 
 // TestMain tears down the shared benchmark environment (cached index files
 // in the OS temp dir) after all benchmarks have run.

@@ -5,6 +5,14 @@
 //
 //	kbtim-build -graph g.bin -profiles p.bin -out ads.irr -type irr \
 //	            -epsilon 0.3 -K 50 -delta 100 -max-theta 200000
+//
+// With -shards N > 1 (hash/range mode) the keyword universe is partitioned
+// and one subset index per shard is written to "<out>.s<i>" — the layout
+// kbtim-serve -shards N opens. Per-keyword sampling is seeded by topic ID
+// alone, so shard files hold bit-identical payloads to a full build and a
+// sharded deployment answers queries identically to a single engine.
+// Replicate mode needs no per-shard files: it builds the one full index at
+// <out>, which every serve-side replica opens.
 package main
 
 import (
@@ -31,6 +39,8 @@ func main() {
 		maxTheta    = flag.Int("max-theta", 0, "cap on per-keyword RR sets (0 = none)")
 		seed        = flag.Uint64("seed", 1, "RNG seed")
 		workers     = flag.Int("workers", 0, "sampling workers (0 = all cores)")
+		shards      = flag.Int("shards", 1, "write per-shard index files <out>.s<i> for a sharded deployment")
+		shardMode   = flag.String("shard-mode", "hash", "keyword→shard assignment: hash | range | replicate")
 	)
 	flag.Parse()
 
@@ -52,23 +62,51 @@ func main() {
 	if err != nil {
 		log.Fatalf("kbtim-build: %v", err)
 	}
-	var report *kbtim.BuildReport
-	switch *indexType {
-	case "rr":
-		report, err = eng.BuildRRIndex(*out)
-	case "irr":
-		report, err = eng.BuildIRRIndex(*out)
-	default:
+	if *indexType != "rr" && *indexType != "irr" {
 		log.Fatalf("kbtim-build: unknown index type %q", *indexType)
+	}
+	if *shards < 1 {
+		log.Fatalf("kbtim-build: -shards must be >= 1, got %d", *shards)
+	}
+
+	printReport := func(path string, report *kbtim.BuildReport) {
+		fmt.Printf("wrote %s: %d keywords, Σθ_w = %d RR sets (mean size %.2f), %.1f MB in %v\n",
+			path, report.Keywords, report.SumTheta, report.MeanRRSetSize,
+			float64(report.Bytes)/(1<<20), report.Elapsed.Round(1e6))
+		if report.Capped > 0 {
+			fmt.Printf("warning: %d keyword(s) hit -max-theta; the (1-1/e-ε) guarantee is voided for them\n",
+				report.Capped)
+		}
+	}
+
+	mode := kbtim.ShardMode(*shardMode)
+	if *shards > 1 && mode != kbtim.ShardReplicate {
+		reports, err := eng.BuildShardIndexes(*indexType, *shards, mode,
+			func(i int) string { return kbtim.ShardIndexPath(*out, i) })
+		if err != nil {
+			log.Fatalf("kbtim-build: %v", err)
+		}
+		for i, report := range reports {
+			if report == nil {
+				fmt.Printf("shard %d owns no keywords; no file written\n", i)
+				continue
+			}
+			printReport(kbtim.ShardIndexPath(*out, i), report)
+		}
+		return
+	}
+	if *shards > 1 {
+		fmt.Printf("replicate mode: one full index serves all %d shards (kbtim-serve opens %s on every shard)\n",
+			*shards, *out)
+	}
+	var report *kbtim.BuildReport
+	if *indexType == "rr" {
+		report, err = eng.BuildRRIndex(*out)
+	} else {
+		report, err = eng.BuildIRRIndex(*out)
 	}
 	if err != nil {
 		log.Fatalf("kbtim-build: %v", err)
 	}
-	fmt.Printf("wrote %s: %d keywords, Σθ_w = %d RR sets (mean size %.2f), %.1f MB in %v\n",
-		*out, report.Keywords, report.SumTheta, report.MeanRRSetSize,
-		float64(report.Bytes)/(1<<20), report.Elapsed.Round(1e6))
-	if report.Capped > 0 {
-		fmt.Printf("warning: %d keyword(s) hit -max-theta; the (1-1/e-ε) guarantee is voided for them\n",
-			report.Capped)
-	}
+	printReport(*out, report)
 }

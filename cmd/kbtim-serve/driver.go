@@ -152,8 +152,30 @@ func pickTopics(r *rng.Source, p *topicPicker, maxLen int) []int {
 	return out
 }
 
+// validate rejects a misconfigured load run before any client starts: a
+// bad -strategy or -clients would otherwise surface as one rejected request
+// per loop iteration for the whole duration.
+func (cfg *driveConfig) validate() error {
+	if cfg.Strategy != "rr" && cfg.Strategy != "irr" {
+		return fmt.Errorf("drive: unknown -strategy %q (want rr or irr)", cfg.Strategy)
+	}
+	if cfg.Clients < 1 {
+		return fmt.Errorf("drive: -clients must be >= 1, got %d", cfg.Clients)
+	}
+	if cfg.K < 1 {
+		return fmt.Errorf("drive: -k must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("drive: -duration must be positive, got %v", cfg.Duration)
+	}
+	return nil
+}
+
 // drive runs the closed loop and aggregates latencies across clients.
 func drive(cfg driveConfig) (*driveReport, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	client := &http.Client{Timeout: 60 * time.Second}
 	universe, err := fetchKeywords(client, cfg.Target)
 	if err != nil {

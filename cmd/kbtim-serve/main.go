@@ -1,18 +1,34 @@
 // Command kbtim-serve runs a KB-TIM query server over HTTP/JSON, or drives
 // one with closed-loop load.
 //
-// Serve mode binds one Engine (with its segment cache) to an address and
-// answers concurrent queries through a bounded worker pool:
+// Serve mode binds one or more Engines (with their cache tiers) to an
+// address and answers concurrent queries through a bounded worker pool:
 //
 //	kbtim-serve -graph g.bin -profiles p.bin -irr ads.irr \
 //	            -addr :8080 -workers 8 -cache-mb 64
 //
+// With -shards N > 1 the server runs N engine shards on one box. In hash
+// (default) and range modes each shard serves a disjoint keyword subset
+// from its own index file ("<path>.s<i>", written by kbtim-build -shards);
+// queries whose topics co-locate are answered by that shard alone, and
+// spanning queries are scatter-gathered with an exact merge — results are
+// identical to a single-engine deployment. In replicate mode every shard
+// opens the SAME full index file and whole queries round-robin across
+// replicas. The global -cache-mb/-decoded-cache-mb budgets and the -workers
+// pool are split evenly across shards:
+//
+//	kbtim-serve -graph g.bin -profiles p.bin -irr ads.irr \
+//	            -shards 4 -shard-mode hash -workers 8 -decoded-cache-mb 256
+//
 // Endpoints:
 //
 //	POST /query    {"topics":[2,7],"k":10,"strategy":"irr"} → seeds + stats
-//	GET  /keywords queryable topic IDs
-//	GET  /stats    pool, latency, and cache counters
+//	GET  /keywords queryable topic IDs (union across shards)
+//	GET  /stats    pool, latency, and cache counters (+ per-shard section)
 //	GET  /healthz  liveness
+//
+// The server shuts down gracefully: SIGINT/SIGTERM stops accepting new
+// connections and drains in-flight queries (up to -drain), then exits 0.
 //
 // Drive mode is a closed-loop load generator against a running server
 // (each client keeps exactly one query outstanding):
@@ -22,11 +38,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"kbtim"
@@ -34,36 +55,53 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatalf("kbtim-serve: %v", err)
+	}
+}
+
+// run is main minus the exit: every failure returns an error (so tests can
+// exercise the full lifecycle) and a clean shutdown returns nil.
+func run(args []string) error {
+	fs := flag.NewFlagSet("kbtim-serve", flag.ContinueOnError)
 	var (
 		// Serve mode.
-		addr        = flag.String("addr", ":8080", "listen address (serve mode)")
-		graphPath   = flag.String("graph", "graph.bin", "input graph path")
-		profilePath = flag.String("profiles", "profiles.bin", "input profiles path")
-		rrPath      = flag.String("rr", "", "RR index path (optional)")
-		irrPath     = flag.String("irr", "", "IRR index path (optional)")
-		workers     = flag.Int("workers", 0, "query worker pool size (0 = NumCPU)")
-		cacheMB     = flag.Int("cache-mb", 32, "segment (byte) cache budget per index, MiB (0 = no cache)")
-		decodedMB   = flag.Int("decoded-cache-mb", 64, "decoded-object cache budget per index, MiB (0 = no cache)")
-		cacheShards = flag.Int("cache-shards", 0, "decoded-object cache shards, rounded to a power of two (0 = near GOMAXPROCS)")
-		queryPar    = flag.Int("query-parallelism", 2, "per-query artifact-load parallelism (<=1 = sequential)")
-		model       = flag.String("model", "IC", "propagation model: IC | LT")
-		epsilon     = flag.Float64("epsilon", 0.3, "approximation ε")
-		bigK        = flag.Int("K", 100, "system cap on Q.k")
-		maxTheta    = flag.Int("max-theta", 0, "per-keyword sampling cap (0 = none)")
-		seed        = flag.Uint64("seed", 1, "RNG seed")
+		addr        = fs.String("addr", ":8080", "listen address (serve mode)")
+		graphPath   = fs.String("graph", "graph.bin", "input graph path")
+		profilePath = fs.String("profiles", "profiles.bin", "input profiles path")
+		rrPath      = fs.String("rr", "", "RR index path (optional; with -shards > 1, shard i opens <path>.s<i>)")
+		irrPath     = fs.String("irr", "", "IRR index path (optional; with -shards > 1, shard i opens <path>.s<i>)")
+		workers     = fs.Int("workers", 0, "query worker pool size, split across shards (0 = NumCPU)")
+		shards      = fs.Int("shards", 1, "engine shard count on this box")
+		shardMode   = fs.String("shard-mode", "hash", "keyword→shard assignment: hash | range | replicate")
+		cacheMB     = fs.Int("cache-mb", 32, "segment (byte) cache budget per index, MiB, split across shards (0 = no cache)")
+		decodedMB   = fs.Int("decoded-cache-mb", 64, "decoded-object cache budget per index, MiB, split across shards (0 = no cache)")
+		cacheShards = fs.Int("cache-shards", 0, "decoded-object cache shards per engine, rounded to a power of two (0 = near GOMAXPROCS)")
+		queryPar    = fs.Int("query-parallelism", 2, "per-query artifact-load parallelism (<=1 = sequential)")
+		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
+		model       = fs.String("model", "IC", "propagation model: IC | LT")
+		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
+		bigK        = fs.Int("K", 100, "system cap on Q.k")
+		maxTheta    = fs.Int("max-theta", 0, "per-keyword sampling cap (0 = none)")
+		seed        = fs.Uint64("seed", 1, "RNG seed")
 
 		// Drive mode.
-		driveMode = flag.Bool("drive", false, "run the closed-loop load driver instead of serving")
-		target    = flag.String("target", "http://localhost:8080", "server base URL (drive mode)")
-		clients   = flag.Int("clients", 8, "closed-loop client count (drive mode)")
-		duration  = flag.Duration("duration", 10*time.Second, "load duration (drive mode)")
-		k         = flag.Int("k", 10, "seed budget Q.k per generated query (drive mode)")
-		maxLen    = flag.Int("max-keywords", 3, "max keywords per generated query (drive mode)")
-		strategy  = flag.String("strategy", "irr", "strategy for generated queries: rr | irr (drive mode)")
-		zipf      = flag.Float64("zipf", 0, "keyword popularity skew exponent, 0 = uniform (drive mode)")
-		churn     = flag.Duration("churn", 0, "rotate the active keyword window this often, 0 = whole universe (drive mode)")
+		driveMode = fs.Bool("drive", false, "run the closed-loop load driver instead of serving")
+		target    = fs.String("target", "http://localhost:8080", "server base URL (drive mode)")
+		clients   = fs.Int("clients", 8, "closed-loop client count (drive mode)")
+		duration  = fs.Duration("duration", 10*time.Second, "load duration (drive mode)")
+		k         = fs.Int("k", 10, "seed budget Q.k per generated query (drive mode)")
+		maxLen    = fs.Int("max-keywords", 3, "max keywords per generated query (drive mode)")
+		strategy  = fs.String("strategy", "irr", "strategy for generated queries: rr | irr (drive mode)")
+		zipf      = fs.Float64("zipf", 0, "keyword popularity skew exponent, 0 = uniform (drive mode)")
+		churn     = fs.Duration("churn", 0, "rotate the active keyword window this often, 0 = whole universe (drive mode)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h printed usage; that is a clean exit, not a failure
+		}
+		return err
+	}
 
 	if *driveMode {
 		rep, err := drive(driveConfig{
@@ -78,52 +116,52 @@ func main() {
 			Churn:    *churn,
 		})
 		if err != nil {
-			log.Fatalf("kbtim-serve: %v", err)
+			return err
 		}
 		rep.print()
-		return
+		return nil
 	}
 
 	if *rrPath == "" && *irrPath == "" {
-		log.Fatal("kbtim-serve: serve mode needs -rr and/or -irr (or use -drive)")
+		return errors.New("serve mode needs -rr and/or -irr (or use -drive)")
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
 	}
 	ds, err := kbtim.LoadDataset(*graphPath, *profilePath)
 	if err != nil {
-		log.Fatalf("kbtim-serve: %v", err)
+		return err
 	}
-	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+	// The cache flags are GLOBAL budgets; each shard engine gets an even
+	// split so adding shards redistributes memory instead of multiplying it.
+	opts := kbtim.Options{
 		Epsilon:            *epsilon,
 		K:                  *bigK,
 		Model:              kbtim.Model(*model),
 		MaxThetaPerKeyword: *maxTheta,
 		Seed:               *seed,
-		CacheBytes:         int64(*cacheMB) << 20,
-		DecodedCacheBytes:  int64(*decodedMB) << 20,
+		CacheBytes:         (int64(*cacheMB) << 20) / int64(*shards),
+		DecodedCacheBytes:  (int64(*decodedMB) << 20) / int64(*shards),
 		CacheShards:        *cacheShards,
 		QueryParallelism:   *queryPar,
-	})
-	if err != nil {
-		log.Fatalf("kbtim-serve: %v", err)
 	}
-	defer eng.Close()
-	if *rrPath != "" {
-		if err := eng.OpenRRIndex(*rrPath); err != nil {
-			log.Fatalf("kbtim-serve: %v", err)
-		}
-	}
-	if *irrPath != "" {
-		if err := eng.OpenIRRIndex(*irrPath); err != nil {
-			log.Fatalf("kbtim-serve: %v", err)
-		}
-	}
-
 	pool := *workers
 	if pool <= 0 {
 		pool = runtime.NumCPU()
 	}
-	srv := NewServer(eng, pool)
-	fmt.Printf("kbtim-serve: listening on %s (%d workers, %d MiB byte cache + %d MiB decoded cache per index)\n",
-		*addr, pool, *cacheMB, *decodedMB)
+	perShard := pool / *shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	be, closeBackend, err := openBackend(ds, opts, *rrPath, *irrPath, *shards, kbtim.ShardMode(*shardMode), perShard)
+	if err != nil {
+		return err
+	}
+	defer closeBackend()
+
+	srv := NewServer(be, pool)
+	fmt.Printf("kbtim-serve: listening on %s (%d shards [%s], %d workers [%d/shard], %d MiB byte cache + %d MiB decoded cache per index, split across shards)\n",
+		*addr, *shards, *shardMode, pool, perShard, *cacheMB, *decodedMB)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),
@@ -135,7 +173,34 @@ func main() {
 		WriteTimeout:      5 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
-	if err := hs.ListenAndServe(); err != nil {
-		log.Fatalf("kbtim-serve: %v", err)
+
+	// Serve until a listener failure or a shutdown signal. SIGINT/SIGTERM
+	// triggers a graceful drain: the listener closes immediately (new
+	// connections are refused), in-flight queries get up to -drain to
+	// finish and write their responses, and the intended close path
+	// (http.ErrServerClosed) exits 0 instead of tripping the fatal path.
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case sig := <-sigCh:
+		fmt.Printf("kbtim-serve: %v received, draining in-flight queries (up to %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		fmt.Println("kbtim-serve: drained, bye")
+		return nil
 	}
 }

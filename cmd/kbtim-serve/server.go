@@ -13,24 +13,46 @@ import (
 	"kbtim/internal/objcache"
 )
 
-// Server exposes a kbtim.Engine over HTTP/JSON. Query execution runs
+// backend is the query surface the server routes to: a single
+// *kbtim.Engine or a *kbtim.Sharded multi-engine deployment — the handlers
+// are identical either way.
+type backend interface {
+	QueryRR(kbtim.Query) (*kbtim.Result, error)
+	QueryIRR(kbtim.Query) (*kbtim.Result, error)
+	IndexedKeywords() []int
+	CacheStats() (rr, irr diskio.CacheStats)
+	DecodedCacheStats() (rr, irr objcache.Stats)
+}
+
+// shardStatser is the optional per-shard breakdown a sharded backend
+// provides; /stats includes a shard section when the backend has one.
+type shardStatser interface {
+	NumShards() int
+	Mode() kbtim.ShardMode
+	ShardStats() []kbtim.ShardStat
+}
+
+// Server exposes a query backend over HTTP/JSON. Query execution runs
 // through a bounded worker pool: at most `workers` queries execute at once,
 // additional requests wait in line (respecting request-context
-// cancellation) rather than piling unbounded load onto the engine.
+// cancellation) rather than piling unbounded load onto the engines. (A
+// sharded backend additionally bounds each shard's concurrency with its own
+// per-shard pool.)
 type Server struct {
-	eng     *kbtim.Engine
+	eng     backend
 	sem     chan struct{}
 	started time.Time
 
 	served   atomic.Int64 // queries answered successfully
-	failed   atomic.Int64 // queries rejected or errored
+	failed   atomic.Int64 // queries that reached an engine and errored
+	rejected atomic.Int64 // requests refused before dispatch (client errors)
 	canceled atomic.Int64 // clients that disconnected before an answer
 	inflight atomic.Int64
 	totalNS  atomic.Int64 // summed service time of served queries
 }
 
-// NewServer wraps eng with a pool of the given size (minimum 1).
-func NewServer(eng *kbtim.Engine, workers int) *Server {
+// NewServer wraps a backend with a pool of the given size (minimum 1).
+func NewServer(eng backend, workers int) *Server {
 	if workers < 1 {
 		workers = 1
 	}
@@ -127,15 +149,32 @@ func toDecodedCacheJSON(s objcache.Stats) decodedCacheJSON {
 	}
 }
 
-// statsResponse is the GET /stats reply.
+// shardJSON is one shard's /stats breakdown.
+type shardJSON struct {
+	Shard      int              `json:"shard"`
+	Keywords   int              `json:"keywords"`
+	InFlight   int64            `json:"in_flight"`
+	RRCache    cacheJSON        `json:"rr_cache"`
+	IRRCache   cacheJSON        `json:"irr_cache"`
+	RRDecoded  decodedCacheJSON `json:"rr_decoded_cache"`
+	IRRDecoded decodedCacheJSON `json:"irr_decoded_cache"`
+}
+
+// statsResponse is the GET /stats reply. The cache sections aggregate over
+// every shard; Shards carries the per-shard breakdown when the backend is a
+// sharded deployment.
 type statsResponse struct {
 	UptimeSec     float64          `json:"uptime_sec"`
 	Workers       int              `json:"workers"`
 	InFlight      int64            `json:"in_flight"`
 	Served        int64            `json:"served"`
 	Failed        int64            `json:"failed"`
+	Rejected      int64            `json:"rejected"`
 	Canceled      int64            `json:"canceled"`
 	MeanLatencyMS float64          `json:"mean_latency_ms"`
+	NumShards     int              `json:"num_shards"`
+	ShardMode     string           `json:"shard_mode,omitempty"`
+	Shards        []shardJSON      `json:"shards,omitempty"`
 	RRCache       cacheJSON        `json:"rr_cache"`
 	IRRCache      cacheJSON        `json:"irr_cache"`
 	RRDecoded     decodedCacheJSON `json:"rr_decoded_cache"`
@@ -154,6 +193,35 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// validateQueryRequest rejects malformed client input before it reaches an
+// engine: missing/duplicate topics, a non-positive k, and unknown
+// strategies are client errors (400), not query failures. Keyword range is
+// left to the engine, which knows the topic space. Returns the effective
+// strategy ("irr" when unset).
+func validateQueryRequest(req *queryRequest) (string, error) {
+	strategy := req.Strategy
+	if strategy == "" {
+		strategy = "irr"
+	}
+	if strategy != "irr" && strategy != "rr" {
+		return "", fmt.Errorf("unknown strategy %q (want rr or irr)", strategy)
+	}
+	if req.K <= 0 {
+		return "", fmt.Errorf("k must be positive, got %d", req.K)
+	}
+	if len(req.Topics) == 0 {
+		return "", fmt.Errorf("topics must name at least one keyword")
+	}
+	seen := make(map[int]bool, len(req.Topics))
+	for _, w := range req.Topics {
+		if seen[w] {
+			return "", fmt.Errorf("duplicate topic %d", w)
+		}
+		seen[w] = true
+	}
+	return strategy, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
@@ -163,17 +231,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// A query is a handful of ints; cap the body so a hostile payload
 	// cannot allocate unbounded memory before validation runs.
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		s.failed.Add(1)
+		s.rejected.Add(1)
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	strategy := req.Strategy
-	if strategy == "" {
-		strategy = "irr"
-	}
-	if strategy != "irr" && strategy != "rr" {
-		s.failed.Add(1)
-		writeError(w, http.StatusBadRequest, "unknown strategy %q (want rr or irr)", strategy)
+	strategy, err := validateQueryRequest(&req)
+	if err != nil {
+		// Malformed client input is rejected before dispatch: a 400 with a
+		// JSON error, counted in `rejected` — not surfaced as an engine
+		// error inflating `failed`.
+		s.rejected.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -193,7 +261,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := kbtim.Query{Topics: req.Topics, K: req.K}
 	start := time.Now()
 	var res *kbtim.Result
-	var err error
 	if strategy == "rr" {
 		res, err = s.eng.QueryRR(q)
 	} else {
@@ -257,19 +324,37 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	rrCache, irrCache := s.eng.CacheStats()
 	rrDec, irrDec := s.eng.DecodedCacheStats()
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeSec:     time.Since(s.started).Seconds(),
 		Workers:       cap(s.sem),
 		InFlight:      s.inflight.Load(),
 		Served:        served,
 		Failed:        s.failed.Load(),
+		Rejected:      s.rejected.Load(),
 		Canceled:      s.canceled.Load(),
 		MeanLatencyMS: mean,
+		NumShards:     1,
 		RRCache:       toCacheJSON(rrCache),
 		IRRCache:      toCacheJSON(irrCache),
 		RRDecoded:     toDecodedCacheJSON(rrDec),
 		IRRDecoded:    toDecodedCacheJSON(irrDec),
-	})
+	}
+	if sh, ok := s.eng.(shardStatser); ok {
+		resp.NumShards = sh.NumShards()
+		resp.ShardMode = string(sh.Mode())
+		for _, st := range sh.ShardStats() {
+			resp.Shards = append(resp.Shards, shardJSON{
+				Shard:      st.Shard,
+				Keywords:   st.Keywords,
+				InFlight:   st.InFlight,
+				RRCache:    toCacheJSON(st.RRCache),
+				IRRCache:   toCacheJSON(st.IRRCache),
+				RRDecoded:  toDecodedCacheJSON(st.RRDecoded),
+				IRRDecoded: toDecodedCacheJSON(st.IRRDecoded),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -136,6 +136,98 @@ func TestServerQueryEndpoint(t *testing.T) {
 	}
 }
 
+// TestServerRejectsInvalidInput pins the input-validation contract:
+// malformed client requests get a 400 with a JSON error BEFORE dispatch,
+// counted in `rejected` — they are not engine errors and must not inflate
+// `failed`.
+func TestServerRejectsInvalidInput(t *testing.T) {
+	srv := NewServer(testEngine(t), 2)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  queryRequest
+	}{
+		{"zero k", queryRequest{Topics: []int{0}, K: 0}},
+		{"negative k", queryRequest{Topics: []int{0}, K: -3}},
+		{"no topics", queryRequest{K: 2}},
+		{"duplicate topics", queryRequest{Topics: []int{1, 1}, K: 2}},
+		{"bad strategy", queryRequest{Topics: []int{0}, K: 2, Strategy: "wris"}},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(mustJSON(t, tc.req)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %s, want 400", tc.name, resp.Status)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+			t.Fatalf("%s: error body missing (%v)", tc.name, err)
+		}
+		resp.Body.Close()
+	}
+	// A syntactically broken body is rejected the same way.
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken body: status %s", resp.Status)
+	}
+
+	if got := srv.rejected.Load(); got != int64(len(cases))+1 {
+		t.Fatalf("rejected = %d, want %d", got, len(cases)+1)
+	}
+	if got := srv.failed.Load(); got != 0 {
+		t.Fatalf("failed = %d, want 0 (client errors are not engine failures)", got)
+	}
+
+	// And the split shows up on /stats.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rejected != int64(len(cases))+1 || stats.Failed != 0 {
+		t.Fatalf("stats rejected/failed = %d/%d", stats.Rejected, stats.Failed)
+	}
+}
+
+// TestDriveValidatesConfig: drive mode refuses to start the load loop on a
+// bad strategy or client count.
+func TestDriveValidatesConfig(t *testing.T) {
+	bad := []driveConfig{
+		{Target: "http://127.0.0.1:1", Clients: 4, Duration: time.Second, K: 1, Strategy: "wris"},
+		{Target: "http://127.0.0.1:1", Clients: 0, Duration: time.Second, K: 1, Strategy: "irr"},
+		{Target: "http://127.0.0.1:1", Clients: 4, Duration: time.Second, K: 0, Strategy: "rr"},
+		{Target: "http://127.0.0.1:1", Clients: 4, Duration: 0, K: 1, Strategy: "irr"},
+	}
+	for i, cfg := range bad {
+		if _, err := drive(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 // TestServerConcurrentLoad hammers the bounded pool from more goroutines
 // than workers; every request must come back correct (run under -race this
 // also guards the Engine's concurrency story end to end).

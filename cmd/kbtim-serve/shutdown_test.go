@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"kbtim"
+)
+
+// TestMain re-execs the test binary as a real kbtim-serve process when the
+// child marker is set: the graceful-shutdown test needs actual signal
+// delivery and a real exit code, which httptest cannot provide.
+func TestMain(m *testing.M) {
+	if os.Getenv("KBTIM_SERVE_CHILD") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestGracefulShutdown is the lifecycle acceptance gate: SIGTERM while
+// queries are in flight lets them complete and write their responses, new
+// work is refused, and the process exits 0 — the intended-close path must
+// not trip the fatal error handler.
+func TestGracefulShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a real server process")
+	}
+	dir := t.TempDir()
+	graphPath := filepath.Join(dir, "g.bin")
+	profPath := filepath.Join(dir, "p.bin")
+	irrPath := filepath.Join(dir, "ads.irr")
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind: kbtim.TwitterLike, NumUsers: 300, AvgDegree: 6,
+		NumTopics: 6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kbtim.SaveDataset(ds, graphPath, profPath); err != nil {
+		t.Fatal(err)
+	}
+	builder, err := kbtim.NewEngine(ds, kbtim.Options{
+		Epsilon: 0.5, K: 10, MaxThetaPerKeyword: 4000, PartitionSize: 5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := builder.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	builder.Close()
+
+	// Reserve a port, then hand it to the child (a small window exists
+	// between Close and the child's bind; acceptable for a test).
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+
+	var out bytes.Buffer
+	cmd := exec.Command(os.Args[0],
+		"-graph", graphPath, "-profiles", profPath, "-irr", irrPath,
+		"-addr", addr, "-workers", "2", "-drain", "20s",
+		"-epsilon", "0.5", "-K", "10", "-seed", "11")
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	cmd.Env = append(os.Environ(), "KBTIM_SERVE_CHILD=1")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // no-op if it exited cleanly
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 10 * time.Second}
+	ready := false
+	for i := 0; i < 200; i++ {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			ready = resp.StatusCode == http.StatusOK
+			if ready {
+				break
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatalf("server never became healthy; output:\n%s", out.String())
+	}
+
+	// A client streams queries back to back while the signal lands. Every
+	// response it manages to receive must be a complete, correct 200; a
+	// transport error just means the stream outlived the listener.
+	type streamResult struct {
+		completed int
+		badStatus string
+	}
+	resCh := make(chan streamResult, 1)
+	go func() {
+		var sr streamResult
+		body, _ := json.Marshal(queryRequest{Topics: []int{0, 1, 2, 3, 4, 5}, K: 10, Strategy: "irr"})
+		for {
+			resp, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				break // listener gone: drain finished behind us
+			}
+			var qr queryResponse
+			decodeErr := json.NewDecoder(resp.Body).Decode(&qr)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || decodeErr != nil || len(qr.Seeds) != 10 {
+				sr.badStatus = fmt.Sprintf("status %s decode %v seeds %d", resp.Status, decodeErr, len(qr.Seeds))
+				break
+			}
+			sr.completed++
+		}
+		resCh <- sr
+	}()
+
+	// Let the stream get in flight, then stop the server.
+	time.Sleep(150 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitCh := make(chan error, 1)
+	go func() { waitCh <- cmd.Wait() }()
+	select {
+	case err := <-waitCh:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("server did not exit within 30s of SIGTERM; output:\n%s", out.String())
+	}
+	if code := cmd.ProcessState.ExitCode(); code != 0 {
+		t.Fatalf("exit code %d, want 0; output:\n%s", code, out.String())
+	}
+
+	sr := <-resCh
+	if sr.badStatus != "" {
+		t.Fatalf("a drained query got a broken response: %s\noutput:\n%s", sr.badStatus, out.String())
+	}
+	if sr.completed == 0 {
+		t.Fatalf("no query completed before shutdown; output:\n%s", out.String())
+	}
+
+	// The server really stopped listening.
+	if resp, err := client.Get(base + "/healthz"); err == nil {
+		resp.Body.Close()
+		t.Fatal("server still answering after clean exit")
+	}
+	if !strings.Contains(out.String(), "draining") {
+		t.Fatalf("shutdown path not taken; output:\n%s", out.String())
+	}
+}

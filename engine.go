@@ -307,6 +307,16 @@ func (e *Engine) Close() error {
 
 // BuildRRIndex builds the disk-based RR index (Algorithm 1) at path.
 func (e *Engine) BuildRRIndex(path string) (*BuildReport, error) {
+	return e.BuildRRIndexTopics(path, nil)
+}
+
+// BuildRRIndexTopics builds an RR index restricted to the given topic IDs
+// (nil = every topic with positive mass, i.e. BuildRRIndex). Each keyword's
+// θ_w planning and RR-set sampling are seeded by the topic ID alone, so a
+// keyword's payload is bit-identical whether it is built into a full index
+// or a subset one — the property keyword-sharded serving relies on for
+// exact result parity.
+func (e *Engine) BuildRRIndexTopics(path string, topics []int) (*BuildReport, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -314,6 +324,7 @@ func (e *Engine) BuildRRIndex(path string) (*BuildReport, error) {
 	stats, err := rrindex.Build(f, e.ds.graph, e.model, e.ds.profiles, e.cfg, rrindex.BuildOptions{
 		Compression: e.opts.compression(),
 		Sizing:      e.opts.sizing(),
+		Topics:      topics,
 	})
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -322,24 +333,19 @@ func (e *Engine) BuildRRIndex(path string) (*BuildReport, error) {
 		os.Remove(path)
 		return nil, err
 	}
-	capped := 0
-	for _, k := range stats.Keywords {
-		if k.Capped {
-			capped++
-		}
-	}
-	return &BuildReport{
-		Bytes:         stats.TotalBytes,
-		SumTheta:      stats.SumTheta(),
-		MeanRRSetSize: stats.MeanRRSize(),
-		Keywords:      len(stats.Keywords),
-		Capped:        capped,
-		Elapsed:       stats.Elapsed,
-	}, nil
+	return buildReport(stats.Keywords, stats.TotalBytes, stats.SumTheta(), stats.MeanRRSize(), stats.Elapsed,
+		func(k rrindex.KeywordStats) bool { return k.Capped }), nil
 }
 
 // BuildIRRIndex builds the incremental IRR index (Algorithm 3) at path.
 func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
+	return e.BuildIRRIndexTopics(path, nil)
+}
+
+// BuildIRRIndexTopics builds an IRR index restricted to the given topic IDs
+// (nil = every topic with positive mass). See BuildRRIndexTopics for the
+// per-keyword determinism guarantee sharded serving builds on.
+func (e *Engine) BuildIRRIndexTopics(path string, topics []int) (*BuildReport, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
@@ -348,6 +354,7 @@ func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
 		Compression:   e.opts.compression(),
 		Sizing:        e.opts.sizing(),
 		PartitionSize: e.opts.PartitionSize,
+		Topics:        topics,
 	})
 	if cerr := f.Close(); err == nil {
 		err = cerr
@@ -356,20 +363,40 @@ func (e *Engine) BuildIRRIndex(path string) (*BuildReport, error) {
 		os.Remove(path)
 		return nil, err
 	}
-	capped := 0
-	for _, k := range stats.Keywords {
-		if k.Capped {
-			capped++
+	return buildReport(stats.Keywords, stats.TotalBytes, stats.SumTheta(), stats.MeanRRSize(), stats.Elapsed,
+		func(k irrindex.KeywordStats) bool { return k.Capped }), nil
+}
+
+// buildReport assembles the public report from either index's build stats.
+func buildReport[K any](keywords []K, bytes, sumTheta int64, meanRR float64, elapsed time.Duration, capped func(K) bool) *BuildReport {
+	n := 0
+	for _, k := range keywords {
+		if capped(k) {
+			n++
 		}
 	}
 	return &BuildReport{
-		Bytes:         stats.TotalBytes,
-		SumTheta:      stats.SumTheta(),
-		MeanRRSetSize: stats.MeanRRSize(),
-		Keywords:      len(stats.Keywords),
-		Capped:        capped,
-		Elapsed:       stats.Elapsed,
-	}, nil
+		Bytes:         bytes,
+		SumTheta:      sumTheta,
+		MeanRRSetSize: meanRR,
+		Keywords:      len(keywords),
+		Capped:        n,
+		Elapsed:       elapsed,
+	}
+}
+
+// IndexableTopics returns the sorted topic IDs a full index build would
+// cover: every topic with positive relevance mass. Sharded deployments
+// partition exactly this universe (via internal/shardmap) so the per-shard
+// builds and the serve-time router agree on ownership.
+func (e *Engine) IndexableTopics() []int {
+	var topics []int
+	for t := 0; t < e.ds.NumTopics(); t++ {
+		if e.ds.profiles.TFSum(t) > 0 {
+			topics = append(topics, t)
+		}
+	}
+	return topics
 }
 
 // openHandle opens path into a fresh handle (refs=1, the caller's

@@ -1,8 +1,10 @@
 package kbtim
 
 import (
+	"fmt"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -157,4 +159,133 @@ func TestEngineParallelQueriesEvictionAndSwap(t *testing.T) {
 	wg.Wait() // queriers first, so swaps overlap queries the whole time
 	stop.Store(true)
 	swapWG.Wait()
+}
+
+// TestShardedCloseAndSwapRace runs the sharded router's lifecycle gauntlet
+// under -race: scatter and single-shard queries in flight while every shard
+// engine is hot-swapped, then Close lands mid-traffic. In-flight queries
+// must either return their exact baseline result (they pinned handles on
+// every involved shard) or fail with the engine-closed error — never a
+// partial result, a hang, or a race.
+func TestShardedCloseAndSwapRace(t *testing.T) {
+	ds := shardedDataset(t)
+	s, single := buildSharded(t, ds, 2, ShardHash, 0)
+
+	dir := t.TempDir()
+	shardPath := func(kind string, i int) string {
+		return filepath.Join(dir, fmt.Sprintf("swap.%s.s%d", kind, i))
+	}
+	for _, kind := range []string{"rr", "irr"} {
+		if _, err := single.BuildShardIndexes(kind, 2, ShardHash, func(i int) string { return shardPath(kind, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	topicsBy, err := single.ShardTopics(2, ShardHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := shardedQueries()
+	type baseline struct{ rr, irr *Result }
+	base := make([]baseline, len(queries))
+	for i, q := range queries {
+		rr, err := s.QueryRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irr, err := s.QueryIRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base[i] = baseline{rr: rr, irr: irr}
+	}
+
+	var stop atomic.Bool
+	var swapWG sync.WaitGroup
+	// Swapper: hot-swaps both indexes of every shard engine (same
+	// deterministic builds → same results) until the close lands; a swap
+	// against an already-closed engine must report the closed error, not
+	// corrupt anything.
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for !stop.Load() {
+			for sh := 0; sh < s.NumShards(); sh++ {
+				if len(topicsBy[sh]) == 0 {
+					continue
+				}
+				if err := s.Shard(sh).OpenRRIndex(shardPath("rr", sh)); err != nil && !isClosedErr(err) {
+					t.Errorf("swap rr shard %d: %v", sh, err)
+					return
+				}
+				if err := s.Shard(sh).OpenIRRIndex(shardPath("irr", sh)); err != nil && !isClosedErr(err) {
+					t.Errorf("swap irr shard %d: %v", sh, err)
+					return
+				}
+			}
+		}
+	}()
+
+	var qWG sync.WaitGroup
+	const goroutines, rounds = 8, 12
+	closeAfter := goroutines * rounds / 3 // Close lands in the middle of traffic
+	var issued atomic.Int64
+	var closeOnce sync.Once
+	for g := 0; g < goroutines; g++ {
+		qWG.Add(1)
+		go func(g int) {
+			defer qWG.Done()
+			for i := 0; i < rounds; i++ {
+				if issued.Add(1) == int64(closeAfter) {
+					closeOnce.Do(func() {
+						if err := s.Close(); err != nil {
+							t.Errorf("close: %v", err)
+						}
+					})
+				}
+				qi := (g + i) % len(queries)
+				q := queries[qi]
+				rr, err := s.QueryRR(q)
+				switch {
+				case err != nil:
+					if !isClosedErr(err) {
+						t.Errorf("rr %v: %v", q, err)
+						return
+					}
+				case !reflect.DeepEqual(rr.Seeds, base[qi].rr.Seeds) || rr.EstSpread != base[qi].rr.EstSpread:
+					t.Errorf("rr %v diverged under swap+close", q)
+					return
+				}
+				irr, err := s.QueryIRR(q)
+				switch {
+				case err != nil:
+					if !isClosedErr(err) {
+						t.Errorf("irr %v: %v", q, err)
+						return
+					}
+				case !reflect.DeepEqual(irr.Seeds, base[qi].irr.Seeds) || irr.EstSpread != base[qi].irr.EstSpread:
+					t.Errorf("irr %v diverged under swap+close", q)
+					return
+				}
+			}
+		}(g)
+	}
+	qWG.Wait()
+	stop.Store(true)
+	swapWG.Wait()
+
+	// After Close the router rejects everything immediately (and Close
+	// stays idempotent through the router).
+	if _, err := s.QueryIRR(queries[0]); err == nil || !isClosedErr(err) {
+		t.Fatalf("post-close query: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// isClosedErr matches the engine-closed failure in-flight queries may
+// legitimately observe once Close lands.
+func isClosedErr(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "engine is closed")
 }

@@ -39,6 +39,7 @@ var Experiments = []struct {
 	{"ablation-compress", "Ablation: compression on/off query impact", AblationCompression},
 	{"ablation-greedy", "Ablation: plain vs CELF-lazy greedy", AblationGreedy},
 	{"throughput", "Throughput: q/s vs workers vs segment cache (multi-client)", Throughput},
+	{"sharded", "Sharded serving: q/s vs engine shards (1/2/4) vs workers", ShardedThroughput},
 }
 
 // Lookup finds an experiment by ID.

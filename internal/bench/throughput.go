@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -11,6 +12,8 @@ import (
 	"kbtim/internal/diskio"
 	"kbtim/internal/irrindex"
 	"kbtim/internal/objcache"
+	"kbtim/internal/prop"
+	"kbtim/internal/shardmap"
 	"kbtim/internal/topic"
 	"kbtim/internal/wris"
 )
@@ -160,7 +163,7 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 			if objCache != nil {
 				objBefore = objCache.Stats()
 			}
-			point, err := runClosedLoop(idx, queries, workers, queriesPerWorker)
+			point, err := runClosedLoop(idx.Query, queries, workers, queriesPerWorker)
 			if err != nil {
 				file.Close()
 				return nil, err
@@ -196,8 +199,10 @@ func RunThroughput(env *Env, f Family) ([]ThroughputPoint, error) {
 }
 
 // runClosedLoop fires `workers` goroutines, each answering its share of the
-// cycled workload back to back, and aggregates wall-clock throughput.
-func runClosedLoop(idx *irrindex.Index, queries []topic.Query, workers, perWorker int) (ThroughputPoint, error) {
+// cycled workload back to back through `query`, and aggregates wall-clock
+// throughput. The query func abstracts over one index (Index.Query) and a
+// sharded deployment (irrindex.QueryMulti behind a shardmap).
+func runClosedLoop(query func(topic.Query) (*irrindex.QueryResult, error), queries []topic.Query, workers, perWorker int) (ThroughputPoint, error) {
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -215,7 +220,7 @@ func runClosedLoop(idx *irrindex.Index, queries []topic.Query, workers, perWorke
 				// concurrent clients ask *different* queries at any instant
 				// (all-lockstep identical requests would flatter the cache).
 				q := queries[(w+i)%len(queries)]
-				res, err := idx.Query(q)
+				res, err := query(q)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -244,6 +249,166 @@ func runClosedLoop(idx *irrindex.Index, queries []topic.Query, workers, perWorke
 		QPS:     float64(n) / elapsed.Seconds(),
 		MeanMS:  float64(totalNS) / float64(n) / 1e6,
 	}, nil
+}
+
+// ShardedThroughputPoint is one (shard count, worker count) measurement of
+// the multi-engine serving experiment.
+type ShardedThroughputPoint struct {
+	Family  Family
+	Shards  int
+	Workers int
+	Queries int
+	Scatter float64 // fraction of queries that spanned > 1 shard
+	Elapsed time.Duration
+	QPS     float64
+	MeanMS  float64
+}
+
+// shardedShardCounts is the engine-shard axis (the kbtim-serve -shards
+// topology, one box).
+func shardedShardCounts(env *Env) []int { return []int{1, 2, 4} }
+
+// shardedWorkers trims the closed-loop sweep: the shards axis is about how
+// partitioning moves the concurrency curve, so three points suffice.
+func shardedWorkers(env *Env) []int { return []int{1, 4, 16} }
+
+// RunShardedThroughput measures queries/sec of a keyword-sharded
+// multi-engine deployment (the kbtim-serve -shards topology): the keyword
+// universe is hash-partitioned across N per-shard IRR indexes, each with
+// its own file handle and its 1/N split of one global decoded-cache budget,
+// and every query is routed through the shard map — single-index call when
+// its topics co-locate, exact cross-shard merge otherwise. Results are
+// identical across the axis (the parity tests pin that); this experiment
+// reports what the topology does to throughput.
+func RunShardedThroughput(env *Env, f Family) ([]ShardedThroughputPoint, error) {
+	g, prof, err := env.Dataset(f, env.defaultSize(f))
+	if err != nil {
+		return nil, err
+	}
+	queries, err := env.Queries(env.Cfg.QueriesPerPoint*2, env.Cfg.DefaultLen, env.Cfg.DefaultK)
+	if err != nil {
+		return nil, err
+	}
+	queriesPerWorker := 2 * len(queries)
+	var universe []int
+	for t := 0; t < prof.NumTopics(); t++ {
+		if prof.TFSum(t) > 0 {
+			universe = append(universe, t)
+		}
+	}
+	const cacheBudget = 16 << 20 // split across shards: memory held constant
+
+	var points []ShardedThroughputPoint
+	for _, shards := range shardedShardCounts(env) {
+		sm, err := shardmap.New(shards, shardmap.Hash, prof.NumTopics())
+		if err != nil {
+			return nil, err
+		}
+		parts := sm.Partition(universe)
+		shardIdx := make([]*irrindex.Index, shards)
+		var files []*diskio.File
+		closeFiles := func() {
+			for _, fo := range files {
+				fo.Close()
+			}
+		}
+		for s, part := range parts {
+			if len(part) == 0 {
+				continue
+			}
+			path := filepath.Join(env.dir, fmt.Sprintf("shard-%s-%dof%d.idx", f, s, shards))
+			fo, err := os.Create(path)
+			if err != nil {
+				closeFiles()
+				return nil, err
+			}
+			_, berr := irrindex.Build(fo, g, prop.IC{}, prof, env.wrisConfig(), irrindex.BuildOptions{
+				Compression:   codec.Delta,
+				PartitionSize: env.Cfg.PartitionSize,
+				Topics:        part,
+			})
+			if cerr := fo.Close(); berr == nil {
+				berr = cerr
+			}
+			if berr != nil {
+				closeFiles()
+				return nil, berr
+			}
+			file, err := diskio.Open(path, diskio.NewCounter())
+			if err != nil {
+				closeFiles()
+				return nil, err
+			}
+			files = append(files, file)
+			idx, err := irrindex.Open(file)
+			if err != nil {
+				closeFiles()
+				return nil, err
+			}
+			idx.SetDecodedCache(objcache.NewSharded(cacheBudget/int64(shards), 0))
+			shardIdx[s] = idx
+		}
+		owner := func(w int) *irrindex.Index {
+			if w < 0 || w >= prof.NumTopics() {
+				return nil
+			}
+			return shardIdx[sm.Owner(w)]
+		}
+		scattered := 0
+		for _, q := range queries {
+			if len(sm.Shards(q.Topics)) > 1 {
+				scattered++
+			}
+		}
+		query := func(q topic.Query) (*irrindex.QueryResult, error) {
+			return irrindex.QueryMulti(owner, q)
+		}
+		for _, workers := range shardedWorkers(env) {
+			point, err := runClosedLoop(query, queries, workers, queriesPerWorker)
+			if err != nil {
+				closeFiles()
+				return nil, err
+			}
+			points = append(points, ShardedThroughputPoint{
+				Family:  f,
+				Shards:  shards,
+				Workers: workers,
+				Queries: point.Queries,
+				Scatter: float64(scattered) / float64(len(queries)),
+				Elapsed: point.Elapsed,
+				QPS:     point.QPS,
+				MeanMS:  point.MeanMS,
+			})
+		}
+		closeFiles()
+	}
+	return points, nil
+}
+
+// ShardedThroughput renders the multi-engine serving experiment: q/s vs
+// engine-shard count (1/2/4, hash-partitioned keywords, constant total
+// cache memory) vs closed-loop workers. Quick mode covers the News family;
+// full mode adds Twitter.
+func ShardedThroughput(w io.Writer, env *Env) error {
+	t := newTable("Sharded serving: hash-partitioned engines under closed-loop clients",
+		"dataset", "shards", "workers", "queries", "scatter", "q/s", "mean-ms")
+	families := []Family{News}
+	if env.Cfg.Full {
+		families = []Family{News, Twitter}
+	}
+	for _, f := range families {
+		points, err := RunShardedThroughput(env, f)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			t.add(string(f), p.Shards, p.Workers, p.Queries,
+				fmt.Sprintf("%.2f", p.Scatter),
+				fmt.Sprintf("%.1f", p.QPS), fmt.Sprintf("%.2f", p.MeanMS))
+		}
+	}
+	t.addf("(scatter = fraction of queries spanning >1 shard; results are identical across the axis, only cost moves)")
+	return t.write(w)
 }
 
 // Throughput renders the multi-client serving experiment: queries/sec of

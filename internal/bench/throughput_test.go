@@ -49,6 +49,61 @@ func TestRunThroughputShape(t *testing.T) {
 	}
 }
 
+// TestRunShardedThroughputShape pins the sharded serving benchmark: the
+// shard axis covers 1, 2, and 4 engines, every point is sane, and at least
+// one query in the workload actually scatters across shards (otherwise the
+// axis never exercises the merge path).
+func TestRunShardedThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded throughput smoke test skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	points, err := RunShardedThroughput(env, News)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCounts := map[int]bool{}
+	scatterSeen := false
+	for _, p := range points {
+		if p.QPS <= 0 || p.Queries <= 0 || p.MeanMS <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		shardCounts[p.Shards] = true
+		if p.Shards == 1 && p.Scatter != 0 {
+			t.Fatalf("1-shard row reports scatter: %+v", p)
+		}
+		if p.Shards > 1 && p.Scatter > 0 {
+			scatterSeen = true
+		}
+	}
+	for _, want := range []int{1, 2, 4} {
+		if !shardCounts[want] {
+			t.Fatalf("shard axis missing %d: %v", want, shardCounts)
+		}
+	}
+	if !scatterSeen {
+		t.Fatal("no multi-shard row scattered any query; the merge path went unmeasured")
+	}
+}
+
+// TestShardedThroughputRenders checks the registry entry end to end.
+func TestShardedThroughputRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded throughput smoke test skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	var buf bytes.Buffer
+	if err := ShardedThroughput(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"shards", "scatter", "q/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
 // TestThroughputRenders checks the registry entry end to end.
 func TestThroughputRenders(t *testing.T) {
 	if testing.Short() {

@@ -122,23 +122,36 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 	if err := q.Validate(idx.hdr.NumTopics); err != nil {
 		return nil, err
 	}
-	if q.K > idx.hdr.K {
-		return nil, fmt.Errorf("irrindex: Q.k=%d exceeds index cap K=%d", q.K, idx.hdr.K)
-	}
-	var phiQ float64
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
-		if d == nil {
+	dirs := make([]*KeywordDir, len(q.Topics))
+	for i, w := range q.Topics {
+		if dirs[i] = idx.dirs[w]; dirs[i] == nil {
 			return nil, fmt.Errorf("irrindex: keyword %d not indexed", w)
 		}
+	}
+	return planTopics(&idx.hdr, q, dirs)
+}
+
+// planTopics is the Plan body over an explicit per-topic directory list —
+// the directories may come from ONE index or from several keyword-sharded
+// ones. θ^Q_w depends only on each keyword's (ThetaW, Phi), both frozen per
+// keyword at build time, so a sharded deployment allocates exactly like a
+// single index.
+func planTopics(hdr *Header, q topic.Query, dirs []*KeywordDir) (map[int]int, error) {
+	if err := q.Validate(hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	if q.K > hdr.K {
+		return nil, fmt.Errorf("irrindex: Q.k=%d exceeds index cap K=%d", q.K, hdr.K)
+	}
+	var phiQ float64
+	for _, d := range dirs {
 		phiQ += d.Phi
 	}
 	if phiQ <= 0 {
 		return nil, fmt.Errorf("irrindex: query %v has zero mass", q.Topics)
 	}
 	thetaQ := math.Inf(1)
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
+	for _, d := range dirs {
 		pw := d.Phi / phiQ
 		if pw <= 0 {
 			continue
@@ -148,8 +161,7 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 		}
 	}
 	alloc := make(map[int]int, len(q.Topics))
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
+	for _, d := range dirs {
 		t := int64(thetaQ*(d.Phi/phiQ) + 1e-9)
 		if t < 1 {
 			t = 1
@@ -157,7 +169,7 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 		if t > d.ThetaW {
 			t = d.ThetaW
 		}
-		alloc[w] = int(t)
+		alloc[d.TopicID] = int(t)
 	}
 	return alloc, nil
 }
@@ -211,6 +223,12 @@ type partFuture struct {
 // kwState is the per-keyword in-memory state of one NRA run.
 type kwState struct {
 	topicID int
+	// idx is the index owning this keyword — always the queried index for
+	// single-index queries, possibly a different shard per keyword under
+	// QueryMulti — and r is that index's per-query I/O scope. Every fetch
+	// for this keyword goes through this pair.
+	idx     *Index
+	r       *diskio.Scope
 	dir     *KeywordDir
 	thetaQw int
 	ip      map[uint32]int32 // first occurrence per listed user (shared, read-only)
@@ -319,14 +337,120 @@ func (h *candHeap) fix0() { h.down(0) }
 // while the current NRA round runs; all NRA state mutation stays sequential,
 // so the seed trace is identical to the sequential path.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
+	return QueryMulti(func(int) *Index { return idx }, q)
+}
+
+// QueryMulti answers a KB-TIM query with Algorithm 4 over a
+// keyword-partitioned set of indexes: owner(w) returns the Index holding
+// keyword w (nil = not indexed anywhere). The NRA aggregation is already
+// organized as per-keyword state advancing round by round; here each
+// keyword's state simply fetches from ITS owning index through that index's
+// per-query I/O scope. Per-keyword partitions, IP tables, and the
+// allocation plan are bit-identical however the universe is partitioned
+// (sampling is seeded by topic ID alone), and all NRA state mutation stays
+// sequential in query-keyword order — so a query spanning N shard indexes
+// returns exactly the seeds, marginals, and spread a single full index
+// would. The reported IO is the sum over the involved indexes' scopes.
+func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
 	start := time.Now()
-	// All reads go through a per-query scope: precise I/O accounting with
-	// no shared cursor, so concurrent queries cannot race or pollute each
-	// other's sequential/random classification.
-	r := diskio.NewScope(idx.r)
-	alloc, err := idx.Plan(q)
+	if len(q.Topics) == 0 {
+		return nil, fmt.Errorf("irrindex: query needs at least one keyword")
+	}
+	// Resolve the owning indexes. The overwhelmingly common case — every
+	// keyword on ONE index (single-engine deployments, replicate shards,
+	// co-located fast paths) — is detected first so it allocates none of
+	// the multi-index bookkeeping; only genuinely spanning queries pay.
+	base := owner(q.Topics[0])
+	if base == nil {
+		return nil, fmt.Errorf("irrindex: keyword %d not indexed", q.Topics[0])
+	}
+	multi := false
+	for _, w := range q.Topics[1:] {
+		ix := owner(w)
+		if ix == nil {
+			return nil, fmt.Errorf("irrindex: keyword %d not indexed", w)
+		}
+		if ix != base {
+			multi = true
+		}
+	}
+	var (
+		idxOf  []*Index        // per-topic owner, nil when single-index
+		uniq   []*Index        // distinct involved indexes, nil when single
+		scopes []*diskio.Scope // per-query I/O scopes, parallel to uniq
+		scope0 *diskio.Scope   // the single-index scope
+	)
+	if multi {
+		idxOf = make([]*Index, len(q.Topics))
+		for i, w := range q.Topics {
+			ix := owner(w)
+			idxOf[i] = ix
+			known := false
+			for _, u := range uniq {
+				if u == ix {
+					known = true
+					break
+				}
+			}
+			if !known {
+				uniq = append(uniq, ix)
+			}
+		}
+		for _, u := range uniq[1:] {
+			if u.hdr.NumVertices != base.hdr.NumVertices || u.hdr.NumTopics != base.hdr.NumTopics || u.hdr.K != base.hdr.K {
+				return nil, fmt.Errorf("irrindex: shard indexes built over different datasets or caps (|V| %d vs %d, |T| %d vs %d, K %d vs %d)",
+					base.hdr.NumVertices, u.hdr.NumVertices, base.hdr.NumTopics, u.hdr.NumTopics, base.hdr.K, u.hdr.K)
+			}
+		}
+		// All reads go through per-query scopes (one per involved index):
+		// precise I/O accounting with no shared cursor, so concurrent
+		// queries cannot race or pollute each other's sequential/random
+		// classification.
+		scopes = make([]*diskio.Scope, len(uniq))
+		for i, u := range uniq {
+			scopes[i] = diskio.NewScope(u.r)
+		}
+	} else {
+		scope0 = diskio.NewScope(base.r)
+	}
+	idxAt := func(i int) *Index {
+		if idxOf == nil {
+			return base
+		}
+		return idxOf[i]
+	}
+	scopeAt := func(i int) *diskio.Scope {
+		if idxOf == nil {
+			return scope0
+		}
+		for j, u := range uniq {
+			if u == idxOf[i] {
+				return scopes[j]
+			}
+		}
+		return nil // unreachable: every owner is in uniq
+	}
+	// Validate BEFORE the directory lookups so an out-of-space keyword is
+	// reported as such ("outside topic space"), not as a coverage gap.
+	if err := q.Validate(base.hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	dirOf := make([]*KeywordDir, len(q.Topics))
+	for i, w := range q.Topics {
+		if dirOf[i] = idxAt(i).dirs[w]; dirOf[i] == nil {
+			return nil, fmt.Errorf("irrindex: keyword %d not indexed", w)
+		}
+	}
+	nv := base.hdr.NumVertices
+	alloc, err := planTopics(&base.hdr, q, dirOf)
 	if err != nil {
 		return nil, err
+	}
+	par := base.par
+	for _, u := range uniq {
+		if u.par > par {
+			par = u.par
+		}
 	}
 
 	var dec decCounters
@@ -334,14 +458,15 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	var phiQ float64
 	var blocks []*partBlock // consumed query-private (pool-backed) blocks
 	h := &candHeap{}
-	pushed := pool.Bools(idx.hdr.NumVertices)
+	pushed := pool.Bools(nv)
 	pending := pool.Uint32s(64)[:0] // users discovered by the latest fetches
 	// fetchSem bounds ALL of this query's concurrent artifact loads — the
 	// parallel IP phase and every speculative partition prefetch — at the
-	// configured parallelism.
+	// configured parallelism (shared across shard indexes, so a scatter
+	// query cannot multiply its load budget by the shard count).
 	var fetchSem chan struct{}
-	if idx.par > 1 {
-		fetchSem = make(chan struct{}, idx.par)
+	if par > 1 {
+		fetchSem = make(chan struct{}, par)
 	}
 	// drainPrefetch settles outstanding speculative fetches. They MUST
 	// finish before the query returns: they read through this query's I/O
@@ -388,18 +513,20 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		candPool.Put(h.s)
 	}()
 
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
+	for i, w := range q.Topics {
+		d := dirOf[i]
 		phiQ += d.Phi
 		st := &kwState{
 			topicID:  w,
+			idx:      idxAt(i),
+			r:        scopeAt(i),
 			dir:      d,
 			thetaQw:  alloc[w],
 			next:     0,
 			kb:       math.MaxInt32,
 			covered:  pool.Bools(alloc[w]),
-			lists:    pool.Int32Lists(idx.hdr.NumVertices),
-			ipHot:    pool.Bools(idx.hdr.NumVertices),
+			lists:    pool.Int32Lists(nv),
+			ipHot:    pool.Bools(nv),
 			maxParts: len(d.Partitions),
 		}
 		states = append(states, st)
@@ -412,7 +539,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	}
 	h.s = candPool.Get(hintCands)[:0]
 
-	spec := idx.par > 1
+	spec := par > 1
 	if spec && len(states) > 1 {
 		// Parallel load phase: every keyword's IP table is fetched and
 		// decoded concurrently (bounded by fetchSem), and its first
@@ -425,9 +552,9 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 				defer wg.Done()
 				fetchSem <- struct{}{}
 				defer func() { <-fetchSem }()
-				st.err = idx.loadIP(r, st, &st.dec)
+				st.err = st.idx.loadIP(st.r, st, &st.dec)
 				if st.err == nil && st.maxParts > 0 {
-					st.pref = idx.prefetchPartition(r, st, fetchSem)
+					st.pref = st.idx.prefetchPartition(st.r, st, fetchSem)
 				}
 			}(st)
 		}
@@ -440,7 +567,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		}
 	} else {
 		for _, st := range states {
-			if err := idx.loadIP(r, st, &dec); err != nil {
+			if err := st.idx.loadIP(st.r, st, &dec); err != nil {
 				return nil, fmt.Errorf("irrindex: keyword %d IP: %w", st.topicID, err)
 			}
 		}
@@ -448,7 +575,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	// Prime with the first partition of every keyword.
 	for _, st := range states {
-		pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
+		pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 		if err != nil {
 			return nil, err
 		}
@@ -468,9 +595,9 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	// bumps ubVersion — so the heap's refresh-then-decide double call (and
 	// every flushPending re-push) costs one list scan, not two.
 	ubVersion := int32(1)
-	ubMemo := pool.Int32s(idx.hdr.NumVertices)
-	ubStamp := pool.Int32s(idx.hdr.NumVertices)
-	ubComplete := pool.Bools(idx.hdr.NumVertices)
+	ubMemo := pool.Int32s(nv)
+	ubStamp := pool.Int32s(nv)
+	ubComplete := pool.Bools(nv)
 	defer func() {
 		pool.PutInt32s(ubMemo)
 		pool.PutInt32s(ubStamp)
@@ -527,7 +654,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	flushPending()
 
 	res := &QueryResult{Loaded: make(map[int]int, len(states))}
-	picked := pool.Bools(idx.hdr.NumVertices)
+	picked := pool.Bools(nv)
 	defer func() { pool.PutBools(picked) }()
 	// padZeros fills the remaining seed slots with zero-marginal vertices in
 	// exactly coverage.Solve's order: smallest unpicked vertex ID over ALL
@@ -536,7 +663,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	// among heap entries only) and break the Theorem-3 trace equality the
 	// moment marginals hit zero.
 	padZeros := func() {
-		for v := 0; len(res.Seeds) < q.K && v < idx.hdr.NumVertices; v++ {
+		for v := 0; len(res.Seeds) < q.K && v < nv; v++ {
 			if !picked[v] {
 				picked[v] = true
 				res.Seeds = append(res.Seeds, uint32(v))
@@ -554,7 +681,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			progress := false
 			for _, st := range states {
 				if st.next < st.maxParts {
-					pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
+					pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 					if err != nil {
 						return nil, err
 					}
@@ -606,7 +733,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
-				pending, err = idx.loadNextPartition(r, st, pushed, &dec, fetchSem, &blocks, pending)
+				pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 				if err != nil {
 					return nil, err
 				}
@@ -637,7 +764,13 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		res.PartitionsLoaded += st.fetched
 	}
 	res.EstSpread = float64(res.Covered) / float64(total) * phiQ
-	res.IO = r.Stats()
+	if multi {
+		for _, s := range scopes {
+			res.IO = res.IO.Add(s.Stats())
+		}
+	} else {
+		res.IO = scope0.Stats()
+	}
 	res.DecodedHits = dec.hits
 	res.DecodedMisses = dec.misses
 	res.Elapsed = time.Since(start)

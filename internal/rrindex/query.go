@@ -147,23 +147,36 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 	if err := q.Validate(idx.hdr.NumTopics); err != nil {
 		return nil, err
 	}
-	if q.K > idx.hdr.K {
-		return nil, fmt.Errorf("rrindex: Q.k=%d exceeds index cap K=%d", q.K, idx.hdr.K)
-	}
-	var phiQ float64
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
-		if d == nil {
+	dirs := make([]*KeywordDir, len(q.Topics))
+	for i, w := range q.Topics {
+		if dirs[i] = idx.dirs[w]; dirs[i] == nil {
 			return nil, fmt.Errorf("rrindex: keyword %d not indexed", w)
 		}
+	}
+	return planTopics(&idx.hdr, q, dirs)
+}
+
+// planTopics is the Plan body over an explicit per-topic directory list —
+// the directories may come from ONE index or from several keyword-sharded
+// ones. θ^Q_w depends only on each keyword's (ThetaW, Phi), both frozen per
+// keyword at build time, which is why a sharded deployment allocates exactly
+// like a single index (the parity the sharded tests pin).
+func planTopics(hdr *Header, q topic.Query, dirs []*KeywordDir) (map[int]int, error) {
+	if err := q.Validate(hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	if q.K > hdr.K {
+		return nil, fmt.Errorf("rrindex: Q.k=%d exceeds index cap K=%d", q.K, hdr.K)
+	}
+	var phiQ float64
+	for _, d := range dirs {
 		phiQ += d.Phi
 	}
 	if phiQ <= 0 {
 		return nil, fmt.Errorf("rrindex: query %v has zero mass", q.Topics)
 	}
 	thetaQ := math.Inf(1)
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
+	for _, d := range dirs {
 		pw := d.Phi / phiQ
 		if pw <= 0 {
 			continue
@@ -173,8 +186,7 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 		}
 	}
 	alloc := make(map[int]int, len(q.Topics))
-	for _, w := range q.Topics {
-		d := idx.dirs[w]
+	for _, d := range dirs {
 		pw := d.Phi / phiQ
 		t := int64(thetaQ*pw + 1e-9)
 		if t < 1 {
@@ -183,7 +195,7 @@ func (idx *Index) Plan(q topic.Query) (map[int]int, error) {
 		if t > d.ThetaW {
 			t = d.ThetaW
 		}
-		alloc[w] = int(t)
+		alloc[d.TopicID] = int(t)
 	}
 	return alloc, nil
 }
@@ -214,19 +226,117 @@ type kwArtifacts struct {
 // concurrently (bounded), and the merge into query state stays sequential in
 // keyword order, so results are identical to the sequential path.
 func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
+	return QueryMulti(func(int) *Index { return idx }, q)
+}
+
+// QueryMulti answers a KB-TIM query with Algorithm 2 over a
+// keyword-partitioned set of indexes: owner(w) returns the Index holding
+// keyword w (nil = not indexed anywhere). Per-keyword artifacts are
+// bit-identical however the keyword universe is partitioned (each keyword's
+// sampling is seeded by the topic ID alone), the allocation plan depends
+// only on the query keywords' own directory entries, and the merge runs in
+// query-keyword order — so a query spanning N shard indexes returns exactly
+// the seeds, marginals, and spread a single full index would. Each involved
+// index reads through its own per-query I/O scope; the reported IO is their
+// sum.
+func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
 	start := time.Now()
-	// All reads go through a per-query scope: precise I/O accounting with
-	// no shared cursor, so concurrent queries cannot race or pollute each
-	// other's sequential/random classification.
-	r := diskio.NewScope(idx.r)
-	alloc, err := idx.Plan(q)
+	if len(q.Topics) == 0 {
+		return nil, fmt.Errorf("rrindex: query needs at least one keyword")
+	}
+	// Resolve the owning indexes. The overwhelmingly common case — every
+	// keyword on ONE index (single-engine deployments, replicate shards,
+	// co-located fast paths) — is detected first so it allocates none of
+	// the multi-index bookkeeping; only genuinely spanning queries pay.
+	base := owner(q.Topics[0])
+	if base == nil {
+		return nil, fmt.Errorf("rrindex: keyword %d not indexed", q.Topics[0])
+	}
+	multi := false
+	for _, w := range q.Topics[1:] {
+		ix := owner(w)
+		if ix == nil {
+			return nil, fmt.Errorf("rrindex: keyword %d not indexed", w)
+		}
+		if ix != base {
+			multi = true
+		}
+	}
+	var (
+		idxOf  []*Index        // per-topic owner, nil when single-index
+		uniq   []*Index        // distinct involved indexes, nil when single
+		scopes []*diskio.Scope // per-query I/O scopes, parallel to uniq
+		scope0 *diskio.Scope   // the single-index scope
+	)
+	if multi {
+		idxOf = make([]*Index, len(q.Topics))
+		for i, w := range q.Topics {
+			ix := owner(w)
+			idxOf[i] = ix
+			known := false
+			for _, u := range uniq {
+				if u == ix {
+					known = true
+					break
+				}
+			}
+			if !known {
+				uniq = append(uniq, ix)
+			}
+		}
+		for _, u := range uniq[1:] {
+			if u.hdr.NumVertices != base.hdr.NumVertices || u.hdr.NumTopics != base.hdr.NumTopics || u.hdr.K != base.hdr.K {
+				return nil, fmt.Errorf("rrindex: shard indexes built over different datasets or caps (|V| %d vs %d, |T| %d vs %d, K %d vs %d)",
+					base.hdr.NumVertices, u.hdr.NumVertices, base.hdr.NumTopics, u.hdr.NumTopics, base.hdr.K, u.hdr.K)
+			}
+		}
+		// All reads go through per-query scopes (one per involved index):
+		// precise I/O accounting with no shared cursor, so concurrent
+		// queries cannot race or pollute each other's sequential/random
+		// classification.
+		scopes = make([]*diskio.Scope, len(uniq))
+		for i, u := range uniq {
+			scopes[i] = diskio.NewScope(u.r)
+		}
+	} else {
+		scope0 = diskio.NewScope(base.r)
+	}
+	idxAt := func(i int) *Index {
+		if idxOf == nil {
+			return base
+		}
+		return idxOf[i]
+	}
+	scopeAt := func(i int) *diskio.Scope {
+		if idxOf == nil {
+			return scope0
+		}
+		for j, u := range uniq {
+			if u == idxOf[i] {
+				return scopes[j]
+			}
+		}
+		return nil // unreachable: every owner is in uniq
+	}
+	// Validate BEFORE the directory lookups so an out-of-space keyword is
+	// reported as such ("outside topic space"), not as a coverage gap.
+	if err := q.Validate(base.hdr.NumTopics); err != nil {
+		return nil, err
+	}
+	dirOf := make([]*KeywordDir, len(q.Topics))
+	for i, w := range q.Topics {
+		if dirOf[i] = idxAt(i).dirs[w]; dirOf[i] == nil {
+			return nil, fmt.Errorf("rrindex: keyword %d not indexed", w)
+		}
+	}
+	alloc, err := planTopics(&base.hdr, q, dirOf)
 	if err != nil {
 		return nil, err
 	}
 
 	var dec decCounters
 	views := make([]setsView, 0, len(q.Topics))
-	lists := pool.Int32Lists(idx.hdr.NumVertices)
+	lists := pool.Int32Lists(base.hdr.NumVertices)
 	defer pool.PutInt32Lists(lists)
 	offset := int32(0)
 	loaded := make(map[int]int, len(alloc))
@@ -238,18 +348,23 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	// keywords load concurrently (bounded); the merge below is sequential in
 	// keyword order either way, so results are identical.
 	arts := make([]kwArtifacts, len(q.Topics))
-	fetchOne := func(a *kwArtifacts, d *KeywordDir, t int) {
-		a.batch, a.err = idx.setsPrefix(r, d, t, &a.dec)
+	fetchOne := func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
+		a.batch, a.err = ix.setsPrefix(r, d, t, &a.dec)
 		if a.err != nil {
 			return
 		}
-		if idx.dec == nil {
-			a.pverts, a.pids, a.err = idx.decodeInvPairs(r, d, t)
+		if ix.dec == nil {
+			a.pverts, a.pids, a.err = ix.decodeInvPairs(r, d, t)
 		} else {
-			a.inv, a.err = idx.invTable(r, d, &a.dec)
+			a.inv, a.err = ix.invTable(r, d, &a.dec)
 		}
 	}
-	par := idx.par
+	par := base.par
+	for _, u := range uniq {
+		if u.par > par {
+			par = u.par
+		}
+	}
 	if par > len(q.Topics) {
 		par = len(q.Topics)
 	}
@@ -258,17 +373,17 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 		var wg sync.WaitGroup
 		for i, w := range q.Topics {
 			wg.Add(1)
-			go func(a *kwArtifacts, d *KeywordDir, t int) {
+			go func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				fetchOne(a, d, t)
-			}(&arts[i], idx.dirs[w], alloc[w])
+				fetchOne(a, ix, r, d, t)
+			}(&arts[i], idxAt(i), scopeAt(i), dirOf[i], alloc[w])
 		}
 		wg.Wait()
 	} else {
 		for i, w := range q.Topics {
-			fetchOne(&arts[i], idx.dirs[w], alloc[w])
+			fetchOne(&arts[i], idxAt(i), scopeAt(i), dirOf[i], alloc[w])
 			if arts[i].err != nil {
 				break // later keywords keep zero artifacts; merge reports the error
 			}
@@ -280,7 +395,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 				pool.PutUint32s(arts[i].pverts)
 				pool.PutInt32s(arts[i].pids)
 			}
-			if idx.dec == nil && arts[i].batch != nil {
+			if idxAt(i).dec == nil && arts[i].batch != nil {
 				// Query-private pool-backed batches (never cache-shared).
 				pool.PutUint32s(arts[i].batch.Flat)
 				pool.PutInt64s(arts[i].batch.Off)
@@ -297,7 +412,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	// Merge pass 1: per-vertex pair counts, so the query lists can live in
 	// ONE pooled arena instead of thousands of per-vertex appends.
-	counts := pool.Ints(idx.hdr.NumVertices)
+	counts := pool.Ints(base.hdr.NumVertices)
 	defer pool.PutInts(counts)
 	totalPairs := 0
 	for i := range arts {
@@ -330,7 +445,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	// one-pass merge produced.
 	for i, w := range q.Topics {
 		a := &arts[i]
-		d := idx.dirs[w]
+		d := dirOf[i]
 		phiQ += d.Phi
 		t := alloc[w]
 		if a.inv != nil {
@@ -352,7 +467,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 
 	total := int(offset)
 	inst := &coverage.Instance{
-		NumVertices: idx.hdr.NumVertices,
+		NumVertices: base.hdr.NumVertices,
 		NumSets:     total,
 		Lists:       lists,
 	}
@@ -370,6 +485,14 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var io diskio.Stats
+	if multi {
+		for _, s := range scopes {
+			io = io.Add(s.Stats())
+		}
+	} else {
+		io = scope0.Stats()
+	}
 	return &QueryResult{
 		Result: wris.Result{
 			Seeds:     res.Seeds,
@@ -379,7 +502,7 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 			Elapsed:   time.Since(start),
 		},
 		Marginals:     res.Marginal,
-		IO:            r.Stats(),
+		IO:            io,
 		Loaded:        loaded,
 		DecodedHits:   dec.hits,
 		DecodedMisses: dec.misses,

@@ -1,0 +1,289 @@
+package kbtim
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// shardedOptions are small enough for CI but big enough that hash sharding
+// over 8 topics actually spreads keywords across 4 shards.
+func shardedOptions() Options {
+	return Options{
+		Epsilon:            0.5,
+		K:                  10,
+		MaxThetaPerKeyword: 4000,
+		PartitionSize:      5,
+		Seed:               11,
+		DecodedCacheBytes:  1 << 20,
+	}
+}
+
+func shardedDataset(t testing.TB) *Dataset {
+	t.Helper()
+	ds, err := GenerateDataset(DatasetSpec{
+		Kind: TwitterLike, NumUsers: 300, AvgDegree: 6,
+		NumTopics: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// buildSharded constructs an N-shard deployment (both index kinds attached
+// per shard) plus a single-engine deployment over the same dataset and
+// options, for parity checks.
+func buildSharded(t testing.TB, ds *Dataset, shards int, mode ShardMode, perShardWorkers int) (*Sharded, *Engine) {
+	t.Helper()
+	dir := t.TempDir()
+
+	single, err := NewEngine(ds, shardedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { single.Close() })
+	rrPath := filepath.Join(dir, "full.rr")
+	irrPath := filepath.Join(dir, "full.irr")
+	if _, err := single.BuildRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.BuildIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.OpenRRIndex(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.OpenIRRIndex(irrPath); err != nil {
+		t.Fatal(err)
+	}
+
+	shardPath := func(kind string) func(int) string {
+		return func(i int) string { return filepath.Join(dir, fmt.Sprintf("ads.%s.s%d", kind, i)) }
+	}
+	if _, err := single.BuildShardIndexes("rr", shards, mode, shardPath("rr")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := single.BuildShardIndexes("irr", shards, mode, shardPath("irr")); err != nil {
+		t.Fatal(err)
+	}
+	topicsBy, err := single.ShardTopics(shards, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*Engine, shards)
+	for i := range engines {
+		if engines[i], err = NewEngine(ds, shardedOptions()); err != nil {
+			t.Fatal(err)
+		}
+		e := engines[i]
+		t.Cleanup(func() { e.Close() })
+		if len(topicsBy[i]) == 0 {
+			continue // empty shard: no index files, never routed to
+		}
+		if err := engines[i].OpenRRIndex(shardPath("rr")(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := engines[i].OpenIRRIndex(shardPath("irr")(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewSharded(engines, mode, perShardWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, single
+}
+
+// shardedQueries covers the routing shapes: single topic (always one
+// shard), pairs, and the full universe (guaranteed to span all non-empty
+// shards in hash mode).
+func shardedQueries() []Query {
+	return []Query{
+		{Topics: []int{0}, K: 3},
+		{Topics: []int{3}, K: 2},
+		{Topics: []int{0, 1}, K: 3},
+		{Topics: []int{2, 5, 7}, K: 4},
+		{Topics: []int{0, 1, 2, 3, 4, 5, 6, 7}, K: 5},
+	}
+}
+
+// TestShardedHashParity is the acceptance gate: a 4-shard hash deployment
+// returns EXACTLY the single-engine seeds and spreads for every query
+// shape, on both strategies, and the aggregate stats views add up across
+// the per-shard breakdown.
+func TestShardedHashParity(t *testing.T) {
+	ds := shardedDataset(t)
+	s, single := buildSharded(t, ds, 4, ShardHash, 0)
+
+	if got, want := s.IndexedKeywords(), single.IndexedKeywords(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded keyword universe %v, single %v", got, want)
+	}
+	spanned := false
+	for _, q := range shardedQueries() {
+		owners := map[int]bool{}
+		for _, w := range q.Topics {
+			owners[s.Owner(w)] = true
+		}
+		if len(owners) > 1 {
+			spanned = true
+		}
+		for _, kind := range []string{"rr", "irr"} {
+			var a, b *Result
+			var err error
+			if kind == "rr" {
+				if a, err = single.QueryRR(q); err != nil {
+					t.Fatal(err)
+				}
+				b, err = s.QueryRR(q)
+			} else {
+				if a, err = single.QueryIRR(q); err != nil {
+					t.Fatal(err)
+				}
+				b, err = s.QueryIRR(q)
+			}
+			if err != nil {
+				t.Fatalf("%s %v: %v", kind, q, err)
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) || a.EstSpread != b.EstSpread || a.NumRRSets != b.NumRRSets {
+				t.Fatalf("%s %v diverged:\n single  %v / %v\n sharded %v / %v",
+					kind, q, a.Seeds, a.EstSpread, b.Seeds, b.EstSpread)
+			}
+			if kind == "irr" && a.PartitionsLoaded != b.PartitionsLoaded {
+				t.Fatalf("irr %v consumed %d partitions sharded vs %d single", q, b.PartitionsLoaded, a.PartitionsLoaded)
+			}
+		}
+	}
+	if !spanned {
+		t.Fatal("no test query spanned shards; parity did not exercise scatter-gather")
+	}
+
+	// Aggregate stats must equal the per-shard sum.
+	perShard := s.ShardStats()
+	if len(perShard) != 4 {
+		t.Fatalf("%d shard stats", len(perShard))
+	}
+	var sumHits, sumMisses int64
+	kwTotal := 0
+	for _, st := range perShard {
+		sumHits += st.RRDecoded.Hits + st.IRRDecoded.Hits
+		sumMisses += st.RRDecoded.Misses + st.IRRDecoded.Misses
+		kwTotal += st.Keywords
+	}
+	aggRR, aggIRR := s.DecodedCacheStats()
+	if aggRR.Hits+aggIRR.Hits != sumHits || aggRR.Misses+aggIRR.Misses != sumMisses {
+		t.Fatalf("aggregate decoded stats (%d/%d hits+misses) != shard sum (%d/%d)",
+			aggRR.Hits+aggIRR.Hits, aggRR.Misses+aggIRR.Misses, sumHits, sumMisses)
+	}
+	if aggRR.Misses+aggIRR.Misses == 0 {
+		t.Fatal("sharded queries never touched the decoded caches")
+	}
+	if kwTotal != len(single.IndexedKeywords()) {
+		t.Fatalf("shards own %d keywords, universe has %d", kwTotal, len(single.IndexedKeywords()))
+	}
+}
+
+// TestShardedReplicateParity: replicate mode round-robins whole queries
+// across identical replicas, so every result matches the single engine and
+// nothing ever scatters.
+func TestShardedReplicateParity(t *testing.T) {
+	ds := shardedDataset(t)
+	s, single := buildSharded(t, ds, 2, ShardReplicate, 0)
+	for _, q := range shardedQueries() {
+		a, err := single.QueryIRR(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Twice per query so the round-robin cursor visits both replicas.
+		for i := 0; i < 2; i++ {
+			b, err := s.QueryIRR(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a.Seeds, b.Seeds) || a.EstSpread != b.EstSpread {
+				t.Fatalf("replicate %v diverged on attempt %d", q, i)
+			}
+		}
+	}
+}
+
+// TestShardedPerShardPools: bounded per-shard pools under concurrent mixed
+// single/scatter traffic — every result stays correct and the pools drain
+// back to zero in-flight.
+func TestShardedPerShardPools(t *testing.T) {
+	ds := shardedDataset(t)
+	s, single := buildSharded(t, ds, 2, ShardHash, 1)
+	queries := shardedQueries()
+	base := make([]*Result, len(queries))
+	for i, q := range queries {
+		var err error
+		if base[i], err = single.QueryIRR(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const goroutines, rounds = 6, 4
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				qi := (g + i) % len(queries)
+				res, err := s.QueryIRR(queries[qi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(res.Seeds, base[qi].Seeds) {
+					t.Errorf("query %d diverged under pooled concurrency", qi)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, st := range s.ShardStats() {
+		if st.InFlight != 0 {
+			t.Fatalf("shard %d reports %d in-flight after drain", st.Shard, st.InFlight)
+		}
+	}
+}
+
+// TestShardedValidation: constructor and build-path misuse fails loudly.
+func TestShardedValidation(t *testing.T) {
+	ds := shardedDataset(t)
+	eng, err := NewEngine(ds, shardedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := NewSharded(nil, ShardHash, 0); err == nil {
+		t.Fatal("empty engine list accepted")
+	}
+	if _, err := NewSharded([]*Engine{eng, nil}, ShardHash, 0); err == nil {
+		t.Fatal("nil shard engine accepted")
+	}
+	if _, err := NewSharded([]*Engine{eng}, ShardMode("bogus"), 0); err == nil {
+		t.Fatal("bogus shard mode accepted")
+	}
+	if _, err := eng.BuildShardIndexes("bogus", 2, ShardHash, func(int) string { return "" }); err == nil {
+		t.Fatal("bogus index kind accepted")
+	}
+	if _, err := eng.ShardTopics(0, ShardHash); err == nil {
+		t.Fatal("zero shard count accepted")
+	}
+
+	// A sharded query for an unserved keyword fails like a single engine's.
+	s, err := NewSharded([]*Engine{eng}, ShardHash, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.QueryRR(Query{Topics: []int{0}, K: 1}); err == nil {
+		t.Fatal("query against shard with no index succeeded")
+	}
+	if _, err := s.QueryRR(Query{K: 1}); err == nil {
+		t.Fatal("empty topic set accepted")
+	}
+}
