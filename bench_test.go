@@ -88,6 +88,10 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	runExperiment(b, "sharded", bench.ShardedThroughput)
 }
 
+func BenchmarkRouterThroughput(b *testing.B) {
+	runExperiment(b, "router", bench.RouterThroughput)
+}
+
 // TestMain tears down the shared benchmark environment (cached index files
 // in the OS temp dir) after all benchmarks have run.
 func TestMain(m *testing.M) {

@@ -6,6 +6,13 @@
 //
 //	kbtim-query -graph g.bin -profiles p.bin -index ads.irr -type irr \
 //	            -topics 2,7 -k 10 -evaluate
+//
+// Sharded index sets (the per-shard "<index>.s<i>" files kbtim-build
+// -shards writes) are opened with the matching flags; results are identical
+// to querying the unsharded index:
+//
+//	kbtim-query -graph g.bin -profiles p.bin -index ads.irr -type irr \
+//	            -shards 2 -shard-mode hash -topics 2,7 -k 10
 package main
 
 import (
@@ -40,6 +47,8 @@ func main() {
 		graphPath   = flag.String("graph", "graph.bin", "input graph path")
 		profilePath = flag.String("profiles", "profiles.bin", "input profiles path")
 		indexPath   = flag.String("index", "", "index path (for -type rr|irr)")
+		shards      = flag.Int("shards", 1, "open a sharded index set: shard i at <index>.s<i> (for -type rr|irr)")
+		shardMode   = flag.String("shard-mode", "hash", "keyword→shard assignment of the sharded set: hash | range | replicate")
 		method      = flag.String("type", "irr", "strategy: wris | rr | irr | ris")
 		model       = flag.String("model", "IC", "propagation model: IC | LT")
 		topicsFlag  = flag.String("topics", "", "comma-separated advertisement keywords")
@@ -57,17 +66,35 @@ func main() {
 	if err != nil {
 		log.Fatalf("kbtim-query: %v", err)
 	}
-	eng, err := kbtim.NewEngine(ds, kbtim.Options{
+	opts := kbtim.Options{
 		Epsilon:            *epsilon,
 		K:                  *bigK,
 		Model:              kbtim.Model(*model),
 		MaxThetaPerKeyword: *maxTheta,
 		Seed:               *seed,
-	})
+	}
+	eng, err := kbtim.NewEngine(ds, opts)
 	if err != nil {
 		log.Fatalf("kbtim-query: %v", err)
 	}
 	defer eng.Close()
+	if *shards < 1 {
+		log.Fatalf("kbtim-query: -shards must be >= 1, got %d", *shards)
+	}
+	if *shards > 1 && *method != "rr" && *method != "irr" {
+		log.Fatalf("kbtim-query: -shards applies to the disk indexes only (-type rr|irr), not %q", *method)
+	}
+
+	// openSharded assembles the per-shard engines over the "<index>.s<i>"
+	// files kbtim-build -shards wrote; queries through it return exactly
+	// what the unsharded index would.
+	openSharded := func(rrPath, irrPath string) *kbtim.Sharded {
+		s, err := kbtim.OpenShardedIndexes(ds, opts, rrPath, irrPath, *shards, kbtim.ShardMode(*shardMode), 0)
+		if err != nil {
+			log.Fatalf("kbtim-query: %v", err)
+		}
+		return s
+	}
 
 	var res *kbtim.Result
 	var q kbtim.Query
@@ -80,15 +107,23 @@ func main() {
 			log.Fatalf("kbtim-query: %v", terr)
 		}
 		q = kbtim.Query{Topics: topics, K: *k}
-		switch *method {
-		case "wris":
+		switch {
+		case *method == "wris":
 			res, err = eng.QueryWRIS(q)
-		case "rr":
+		case *method == "rr" && *shards > 1:
+			s := openSharded(*indexPath, "")
+			defer s.Close()
+			res, err = s.QueryRR(q)
+		case *method == "rr":
 			if err := eng.OpenRRIndex(*indexPath); err != nil {
 				log.Fatalf("kbtim-query: %v", err)
 			}
 			res, err = eng.QueryRR(q)
-		case "irr":
+		case *method == "irr" && *shards > 1:
+			s := openSharded("", *indexPath)
+			defer s.Close()
+			res, err = s.QueryIRR(q)
+		case *method == "irr":
 			if err := eng.OpenIRRIndex(*indexPath); err != nil {
 				log.Fatalf("kbtim-query: %v", err)
 			}

@@ -1,0 +1,503 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kbtim"
+	"kbtim/internal/diskio"
+	"kbtim/internal/irrindex"
+	"kbtim/internal/objcache"
+	"kbtim/internal/remote"
+	"kbtim/internal/rrindex"
+	"kbtim/internal/shardmap"
+	"kbtim/internal/topic"
+)
+
+// fanoutNode is one downstream kbtim-serve process as the router sees it:
+// its query/health URLs, its remotely opened indexes (artifact fetches go
+// through client), and its traffic counters.
+type fanoutNode struct {
+	url     string
+	client  *remote.Client
+	rr      *rrindex.Index
+	irr     *irrindex.Index
+	rrDec   *objcache.Cache
+	irrDec  *objcache.Cache
+	queries atomic.Int64 // queries this node participated in
+	proxied atomic.Int64 // whole-query fast-path subset
+
+	// healthMu guards the TTL-cached /healthz verdict below: load
+	// balancers poll the router's /healthz every few seconds, often from
+	// several instances, and without the cache every poll would fan out a
+	// fresh probe to every backend.
+	healthMu  sync.Mutex
+	healthAt  time.Time
+	healthErr error
+}
+
+// fanout is the cross-node scatter-gather backend (kbtim-serve -router):
+// the same shardmap contract as kbtim.Sharded, with processes instead of
+// engines behind it. Node i owns the keywords shard i of the map assigns,
+// exactly the partition kbtim-build -shards wrote into the file node i
+// serves, so build, backend, and router all agree on ownership with no
+// coordination service.
+//
+// A query whose topics co-locate on one node is PROXIED whole (one round
+// trip; the owning node runs the whole algorithm, the fast path). A query
+// spanning nodes runs Algorithm 2/4 locally with every keyword's artifact
+// fetches going over the wire to its owning node — rrindex/irrindex
+// QueryMulti with remote-backed indexes — which keeps results bit-identical
+// to a single engine over the full index (the three-way parity test pins
+// engine == in-process Sharded == this router). Router-side decoded caches
+// front the wire, so hot keywords scatter without network I/O.
+type fanout struct {
+	sm        *shardmap.Map
+	mode      kbtim.ShardMode
+	nodes     []*fanoutNode
+	hc        *http.Client // proxy/health/stats transport (per-request ctx bounds it)
+	next      atomic.Uint64
+	proxCnt   atomic.Int64
+	scatCnt   atomic.Int64
+	healthTTL time.Duration
+}
+
+// normalizeBackendURL accepts "host:port" or a full URL and returns a
+// scheme-qualified base with no trailing slash.
+func normalizeBackendURL(s string) string {
+	s = strings.TrimRight(strings.TrimSpace(s), "/")
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return s
+}
+
+// splitBackends parses the -backends flag.
+func splitBackends(flag string) []string {
+	var urls []string
+	for _, part := range strings.Split(flag, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			urls = append(urls, normalizeBackendURL(p))
+		}
+	}
+	return urls
+}
+
+// openFanout connects to every backend, opens its indexes remotely (one
+// "dir" fetch per kind), and wires the shard map over the discovered
+// keyword universe. decBudget is the PER-NODE decoded-cache byte budget on
+// the router side (the caller splits its global flag), attached to each
+// remote index so hot artifacts stay off the wire; queryPar is the
+// per-query artifact-fetch parallelism — worth raising for remote indexes,
+// where each fetch is a network round trip.
+//
+// Every backend must serve the same index kinds, and their headers must
+// describe the same dataset (spanning queries re-verify |V|/|T|/K at query
+// time; topic-space agreement is what the shard map needs up front).
+func openFanout(urls []string, mode kbtim.ShardMode, decBudget int64, cacheShards, queryPar int) (*fanout, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("router mode needs -backends (comma-separated base URLs)")
+	}
+	m := shardmap.Hash
+	if mode != "" {
+		var err error
+		if m, err = shardmap.ParseMode(string(mode)); err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	f := &fanout{
+		mode:      mode,
+		hc:        &http.Client{}, // per-request contexts bound proxy calls
+		healthTTL: 2 * time.Second,
+	}
+	numTopics := 0
+	for i, u := range urls {
+		n := &fanoutNode{url: u, client: remote.NewClient(u, nil)}
+		var err error
+		if n.rr, err = n.client.OpenRR(ctx); err != nil && !errors.Is(err, remote.ErrNotServed) {
+			return nil, fmt.Errorf("backend %s: %w", u, err)
+		}
+		if n.irr, err = n.client.OpenIRR(ctx); err != nil && !errors.Is(err, remote.ErrNotServed) {
+			return nil, fmt.Errorf("backend %s: %w", u, err)
+		}
+		if n.rr == nil && n.irr == nil {
+			return nil, fmt.Errorf("backend %s serves no RR or IRR index", u)
+		}
+		if i > 0 {
+			if (n.rr == nil) != (f.nodes[0].rr == nil) || (n.irr == nil) != (f.nodes[0].irr == nil) {
+				return nil, fmt.Errorf("backend %s serves a different index-kind set than %s", u, f.nodes[0].url)
+			}
+		}
+		nt := 0
+		switch {
+		case n.irr != nil:
+			nt = n.irr.Header().NumTopics
+		case n.rr != nil:
+			nt = n.rr.Header().NumTopics
+		}
+		if i == 0 {
+			numTopics = nt
+		} else if nt != numTopics {
+			return nil, fmt.Errorf("backend %s serves a %d-topic universe, %s serves %d — not shards of one index",
+				u, nt, f.nodes[0].url, numTopics)
+		}
+		if n.rr != nil {
+			if decBudget > 0 {
+				n.rrDec = objcache.NewSharded(decBudget, cacheShards)
+				n.rr.SetDecodedCache(n.rrDec)
+			}
+			n.rr.SetQueryParallelism(queryPar)
+		}
+		if n.irr != nil {
+			if decBudget > 0 {
+				n.irrDec = objcache.NewSharded(decBudget, cacheShards)
+				n.irr.SetDecodedCache(n.irrDec)
+			}
+			n.irr.SetQueryParallelism(queryPar)
+		}
+		f.nodes = append(f.nodes, n)
+	}
+	sm, err := shardmap.New(len(f.nodes), m, numTopics)
+	if err != nil {
+		return nil, err
+	}
+	f.sm = sm
+	return f, nil
+}
+
+// involved returns the nodes a query must touch, ascending. Replicate mode
+// rotates whole queries across nodes; hash/range return the distinct owners
+// of the query's topics.
+func (f *fanout) involved(topics []int) []int {
+	if f.sm.Mode() == shardmap.Replicate {
+		return []int{int(f.next.Add(1)-1) % len(f.nodes)}
+	}
+	return f.sm.Shards(topics)
+}
+
+// proxy forwards the whole query to one node's /query and maps the reply
+// back into a Result — the co-located fast path: one round trip, the owning
+// node pays the compute, results identical by construction.
+func (f *fanout) proxy(ctx context.Context, node int, q kbtim.Query, strategy string) (*kbtim.Result, error) {
+	n := f.nodes[node]
+	body, err := json.Marshal(queryRequest{Topics: q.Topics, K: q.K, Strategy: strategy})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, n.url+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: %w", n.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var fail struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &fail) == nil && fail.Error != "" {
+			return nil, fmt.Errorf("backend %s: %s", n.url, fail.Error)
+		}
+		return nil, fmt.Errorf("backend %s: %s: %s", n.url, resp.Status, msg)
+	}
+	var qr queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return nil, fmt.Errorf("backend %s: decoding reply: %w", n.url, err)
+	}
+	return &kbtim.Result{
+		Seeds:            qr.Seeds,
+		Marginals:        qr.Marginals,
+		EstSpread:        qr.EstSpread,
+		NumRRSets:        qr.NumRRSets,
+		PartitionsLoaded: qr.PartitionsLoaded,
+		IO: kbtim.IOStats{
+			SequentialReads: qr.IO.SequentialReads,
+			RandomReads:     qr.IO.RandomReads,
+			BytesRead:       qr.IO.BytesRead,
+			CacheHits:       qr.IO.CacheHits,
+			CacheMisses:     qr.IO.CacheMisses,
+			DecodedHits:     qr.IO.DecodedHits,
+			DecodedMisses:   qr.IO.DecodedMisses,
+		},
+		Elapsed: time.Duration(qr.ElapsedMS * float64(time.Millisecond)),
+	}, nil
+}
+
+// QueryRRCtx implements backend: proxy when one node owns every topic,
+// local Algorithm 2 over remote-backed shard indexes otherwise.
+func (f *fanout) QueryRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, error) {
+	if f.nodes[0].rr == nil {
+		return nil, errors.New("router backends serve no RR index")
+	}
+	nodes := f.involved(q.Topics)
+	if len(nodes) == 0 {
+		return nil, errors.New("query needs at least one keyword")
+	}
+	for _, i := range nodes {
+		f.nodes[i].queries.Add(1)
+	}
+	if len(nodes) == 1 {
+		f.proxCnt.Add(1)
+		f.nodes[nodes[0]].proxied.Add(1)
+		return f.proxy(ctx, nodes[0], q, "rr")
+	}
+	f.scatCnt.Add(1)
+	r, err := rrindex.QueryMultiCtx(ctx, func(w int) *rrindex.Index {
+		if w < 0 || w >= f.sm.NumTopics() {
+			return nil
+		}
+		return f.nodes[f.sm.Owner(w)].rr
+	}, topic.Query{Topics: q.Topics, K: q.K})
+	if err != nil {
+		return nil, err
+	}
+	return &kbtim.Result{
+		Seeds:     r.Seeds,
+		Marginals: r.Marginals,
+		EstSpread: r.EstSpread,
+		NumRRSets: r.NumRRSets,
+		IO:        wireIOStats(r.IO, r.DecodedHits, r.DecodedMisses),
+		Elapsed:   r.Elapsed,
+	}, nil
+}
+
+// QueryIRRCtx implements backend; routing matches QueryRRCtx.
+func (f *fanout) QueryIRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, error) {
+	if f.nodes[0].irr == nil {
+		return nil, errors.New("router backends serve no IRR index")
+	}
+	nodes := f.involved(q.Topics)
+	if len(nodes) == 0 {
+		return nil, errors.New("query needs at least one keyword")
+	}
+	for _, i := range nodes {
+		f.nodes[i].queries.Add(1)
+	}
+	if len(nodes) == 1 {
+		f.proxCnt.Add(1)
+		f.nodes[nodes[0]].proxied.Add(1)
+		return f.proxy(ctx, nodes[0], q, "irr")
+	}
+	f.scatCnt.Add(1)
+	r, err := irrindex.QueryMultiCtx(ctx, func(w int) *irrindex.Index {
+		if w < 0 || w >= f.sm.NumTopics() {
+			return nil
+		}
+		return f.nodes[f.sm.Owner(w)].irr
+	}, topic.Query{Topics: q.Topics, K: q.K})
+	if err != nil {
+		return nil, err
+	}
+	return &kbtim.Result{
+		Seeds:            r.Seeds,
+		Marginals:        r.Marginals,
+		EstSpread:        r.EstSpread,
+		NumRRSets:        r.NumRRSets,
+		IO:               wireIOStats(r.IO, r.DecodedHits, r.DecodedMisses),
+		PartitionsLoaded: r.PartitionsLoaded,
+		Elapsed:          r.Elapsed,
+	}, nil
+}
+
+// wireIOStats maps a scatter query's I/O scope (which recorded artifact
+// transfers) into the public stats shape — BytesRead are wire bytes here.
+func wireIOStats(s diskio.Stats, decHits, decMisses int64) kbtim.IOStats {
+	return kbtim.IOStats{
+		SequentialReads: s.SequentialReads,
+		RandomReads:     s.RandomReads,
+		BytesRead:       s.BytesRead,
+		CacheHits:       s.CacheHits,
+		CacheMisses:     s.CacheMisses,
+		DecodedHits:     decHits,
+		DecodedMisses:   decMisses,
+	}
+}
+
+// IndexedKeywords implements backend: the sorted union of every node's
+// queryable topics.
+func (f *fanout) IndexedKeywords() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, n := range f.nodes {
+		var kws []int
+		switch {
+		case n.irr != nil:
+			kws = n.irr.Keywords()
+		case n.rr != nil:
+			kws = n.rr.Keywords()
+		}
+		for _, w := range kws {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CacheStats implements backend. The router holds no segment cache — raw
+// bytes never land here outside an artifact fetch, which the decoded tier
+// fronts — so the segment section is zero.
+func (f *fanout) CacheStats() (rr, irr diskio.CacheStats) { return }
+
+// DecodedCacheStats implements backend: the router-side caches, summed
+// across nodes.
+func (f *fanout) DecodedCacheStats() (rr, irr objcache.Stats) {
+	for _, n := range f.nodes {
+		if n.rrDec != nil {
+			rr = rr.Add(n.rrDec.Stats())
+		}
+		if n.irrDec != nil {
+			irr = irr.Add(n.irrDec.Stats())
+		}
+	}
+	return
+}
+
+// nodeHealthy returns one node's /healthz verdict, served from a
+// healthTTL-bounded cache so frequent health polling does not amplify into
+// a probe storm on the backends (a verdict may therefore be up to
+// healthTTL stale).
+func (f *fanout) nodeHealthy(ctx context.Context, n *fanoutNode) error {
+	n.healthMu.Lock()
+	if f.healthTTL > 0 && !n.healthAt.IsZero() && time.Since(n.healthAt) < f.healthTTL {
+		err := n.healthErr
+		n.healthMu.Unlock()
+		return err
+	}
+	n.healthMu.Unlock()
+	err := f.probeHealth(ctx, n)
+	n.healthMu.Lock()
+	n.healthAt = time.Now()
+	n.healthErr = err
+	n.healthMu.Unlock()
+	return err
+}
+
+// probeHealth performs the actual /healthz round trip. The verdict is
+// cached and shared across callers, so the probe detaches from the
+// caller's context — one impatient client's cancellation must not get
+// recorded (and served for healthTTL) as "backend down"; the probe's own
+// 2s timeout still bounds it.
+func (f *fanout) probeHealth(ctx context.Context, n *fanoutNode) error {
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return nil
+}
+
+// CheckHealth implements healthChecker: the router is healthy only when
+// every node answers its /healthz — a down node means some keyword subset
+// is unservable, which load balancers should see.
+func (f *fanout) CheckHealth(ctx context.Context) error {
+	errs := make([]error, len(f.nodes))
+	var wg sync.WaitGroup
+	for i, n := range f.nodes {
+		wg.Add(1)
+		go func(i int, n *fanoutNode) {
+			defer wg.Done()
+			errs[i] = f.nodeHealthy(ctx, n)
+		}(i, n)
+	}
+	wg.Wait()
+	var down []string
+	for i, err := range errs {
+		if err != nil {
+			down = append(down, fmt.Sprintf("%s (%v)", f.nodes[i].url, err))
+		}
+	}
+	if len(down) > 0 {
+		return fmt.Errorf("backends down: %s", strings.Join(down, "; "))
+	}
+	return nil
+}
+
+// RouterStats implements routerStatser: the fan-out counters plus a live
+// probe and /stats scrape of every node (in parallel; a node that does not
+// answer in time appears unhealthy with null stats).
+func (f *fanout) RouterStats(ctx context.Context) *routerStatsJSON {
+	out := &routerStatsJSON{
+		Mode:      string(f.mode),
+		Proxied:   f.proxCnt.Load(),
+		Scattered: f.scatCnt.Load(),
+		Backends:  make([]routerBackendJSON, len(f.nodes)),
+	}
+	var wg sync.WaitGroup
+	for i, n := range f.nodes {
+		wg.Add(1)
+		go func(i int, n *fanoutNode) {
+			defer wg.Done()
+			ws := n.client.Stats()
+			b := routerBackendJSON{
+				URL:             n.url,
+				Healthy:         f.nodeHealthy(ctx, n) == nil,
+				Queries:         n.queries.Load(),
+				Proxied:         n.proxied.Load(),
+				ArtifactFetches: ws.Fetches,
+				WireBytes:       ws.Bytes,
+			}
+			if raw := f.scrapeStats(ctx, n); raw != nil {
+				b.Stats = raw
+			}
+			out.Backends[i] = b
+		}(i, n)
+	}
+	wg.Wait()
+	return out
+}
+
+// scrapeStats best-effort fetches one node's /stats for embedding.
+func (f *fanout) scrapeStats(ctx context.Context, n *fanoutNode) json.RawMessage {
+	ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, n.url+"/stats", nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := f.hc.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil || !json.Valid(raw) {
+		return nil
+	}
+	return json.RawMessage(raw)
+}

@@ -20,12 +20,26 @@
 //	kbtim-serve -graph g.bin -profiles p.bin -irr ads.irr \
 //	            -shards 4 -shard-mode hash -workers 8 -decoded-cache-mb 256
 //
+// Router mode scales the same contract across PROCESSES: a fan-out router
+// in front of N kbtim-serve nodes, node i serving shard i's index files.
+// Queries whose topics co-locate on one node are proxied whole to it;
+// spanning queries run the exact scatter-gather merge locally with every
+// keyword's artifact fetch going to its owning node over the versioned
+// /internal/artifact protocol (results stay bit-identical to one engine —
+// see DESIGN.md §6.2). The -decoded-cache-mb budget becomes the router-side
+// artifact cache, split across backends:
+//
+//	kbtim-serve -router -backends host1:8080,host2:8080 \
+//	            -shard-mode hash -addr :9090 -decoded-cache-mb 256
+//
 // Endpoints:
 //
 //	POST /query    {"topics":[2,7],"k":10,"strategy":"irr"} → seeds + stats
 //	GET  /keywords queryable topic IDs (union across shards)
-//	GET  /stats    pool, latency, and cache counters (+ per-shard section)
-//	GET  /healthz  liveness
+//	GET  /stats    pool, latency, and cache counters (+ per-shard and
+//	               per-backend router sections)
+//	GET  /healthz  liveness (a router is healthy only if every backend is)
+//	GET  /internal/artifact  raw index artifacts for routers (serve mode)
 //
 // The server shuts down gracefully: SIGINT/SIGTERM stops accepting new
 // connections and drains in-flight queries (up to -drain), then exits 0.
@@ -79,6 +93,8 @@ func run(args []string) error {
 		cacheShards = fs.Int("cache-shards", 0, "decoded-object cache shards per engine, rounded to a power of two (0 = near GOMAXPROCS)")
 		queryPar    = fs.Int("query-parallelism", 2, "per-query artifact-load parallelism (<=1 = sequential)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
+		routerMode  = fs.Bool("router", false, "run as a cross-node fan-out router over -backends (no local indexes)")
+		backends    = fs.String("backends", "", "comma-separated backend base URLs; backend i owns shard i's keywords (router mode)")
 		model       = fs.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = fs.Int("K", 100, "system cap on Q.k")
@@ -122,46 +138,59 @@ func run(args []string) error {
 		return nil
 	}
 
-	if *rrPath == "" && *irrPath == "" {
-		return errors.New("serve mode needs -rr and/or -irr (or use -drive)")
-	}
-	if *shards < 1 {
-		return fmt.Errorf("-shards must be >= 1, got %d", *shards)
-	}
-	ds, err := kbtim.LoadDataset(*graphPath, *profilePath)
-	if err != nil {
-		return err
-	}
-	// The cache flags are GLOBAL budgets; each shard engine gets an even
-	// split so adding shards redistributes memory instead of multiplying it.
-	opts := kbtim.Options{
-		Epsilon:            *epsilon,
-		K:                  *bigK,
-		Model:              kbtim.Model(*model),
-		MaxThetaPerKeyword: *maxTheta,
-		Seed:               *seed,
-		CacheBytes:         (int64(*cacheMB) << 20) / int64(*shards),
-		DecodedCacheBytes:  (int64(*decodedMB) << 20) / int64(*shards),
-		CacheShards:        *cacheShards,
-		QueryParallelism:   *queryPar,
-	}
 	pool := *workers
 	if pool <= 0 {
 		pool = runtime.NumCPU()
 	}
-	perShard := pool / *shards
-	if perShard < 1 {
-		perShard = 1
+	var be backend
+	if *routerMode {
+		urls := splitBackends(*backends)
+		fo, err := openFanout(urls, kbtim.ShardMode(*shardMode), (int64(*decodedMB)<<20)/int64(max(len(urls), 1)), *cacheShards, *queryPar)
+		if err != nil {
+			return err
+		}
+		be = fo
+		fmt.Printf("kbtim-serve: routing on %s over %d backends [%s], %d workers, %d MiB decoded artifact cache split across backends\n",
+			*addr, len(urls), *shardMode, pool, *decodedMB)
+	} else {
+		if *rrPath == "" && *irrPath == "" {
+			return errors.New("serve mode needs -rr and/or -irr (or use -drive / -router)")
+		}
+		if *shards < 1 {
+			return fmt.Errorf("-shards must be >= 1, got %d", *shards)
+		}
+		ds, err := kbtim.LoadDataset(*graphPath, *profilePath)
+		if err != nil {
+			return err
+		}
+		// The cache flags are GLOBAL budgets; each shard engine gets an even
+		// split so adding shards redistributes memory instead of multiplying it.
+		opts := kbtim.Options{
+			Epsilon:            *epsilon,
+			K:                  *bigK,
+			Model:              kbtim.Model(*model),
+			MaxThetaPerKeyword: *maxTheta,
+			Seed:               *seed,
+			CacheBytes:         (int64(*cacheMB) << 20) / int64(*shards),
+			DecodedCacheBytes:  (int64(*decodedMB) << 20) / int64(*shards),
+			CacheShards:        *cacheShards,
+			QueryParallelism:   *queryPar,
+		}
+		perShard := pool / *shards
+		if perShard < 1 {
+			perShard = 1
+		}
+		var closeBackend func() error
+		be, closeBackend, err = openBackend(ds, opts, *rrPath, *irrPath, *shards, kbtim.ShardMode(*shardMode), perShard)
+		if err != nil {
+			return err
+		}
+		defer closeBackend()
+		fmt.Printf("kbtim-serve: listening on %s (%d shards [%s], %d workers [%d/shard], %d MiB byte cache + %d MiB decoded cache per index, split across shards)\n",
+			*addr, *shards, *shardMode, pool, perShard, *cacheMB, *decodedMB)
 	}
-	be, closeBackend, err := openBackend(ds, opts, *rrPath, *irrPath, *shards, kbtim.ShardMode(*shardMode), perShard)
-	if err != nil {
-		return err
-	}
-	defer closeBackend()
 
 	srv := NewServer(be, pool)
-	fmt.Printf("kbtim-serve: listening on %s (%d shards [%s], %d workers [%d/shard], %d MiB byte cache + %d MiB decoded cache per index, split across shards)\n",
-		*addr, *shards, *shardMode, pool, perShard, *cacheMB, *decodedMB)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),

@@ -2,21 +2,15 @@ package main
 
 import (
 	"fmt"
-	"os"
 
 	"kbtim"
 )
 
 // openBackend assembles the query backend for serve mode: one Engine when
-// shards == 1, else a kbtim.Sharded deployment of per-shard engines.
-//
-// Index-file convention (shared with kbtim-build): in hash/range mode shard
-// i opens "<path>.s<i>" — the keyword-subset index kbtim-build -shards
-// wrote — while replicate mode opens the one full index at <path> on every
-// shard (each shard engine keeps its own file handle and cache tiers, so
-// replicas do not contend on cache locks). Shards whose keyword partition
-// is empty (possible when hashing a tiny universe) are left indexless and
-// are never routed to.
+// shards == 1, else a kbtim.Sharded deployment of per-shard engines (see
+// kbtim.OpenShardedIndexes for the index-file convention shared with
+// kbtim-build and the all-or-nothing open that keeps partial failures from
+// leaking engines or file handles).
 //
 // opts carries PER-SHARD budgets — the caller splits the global cache flags
 // before calling — and perShardWorkers bounds each shard's concurrent
@@ -26,82 +20,28 @@ func openBackend(ds *kbtim.Dataset, opts kbtim.Options, rrPath, irrPath string, 
 	if shards < 1 {
 		return nil, nil, fmt.Errorf("-shards must be >= 1, got %d", shards)
 	}
-	engines := make([]*kbtim.Engine, 0, shards)
-	closeAll := func() error {
-		var first error
-		for _, e := range engines {
-			if err := e.Close(); err != nil && first == nil {
-				first = err
-			}
-		}
-		return first
-	}
-	fail := func(err error) (backend, func() error, error) {
-		closeAll()
-		return nil, nil, err
-	}
-	for i := 0; i < shards; i++ {
+	if shards == 1 {
 		eng, err := kbtim.NewEngine(ds, opts)
 		if err != nil {
-			return fail(err)
+			return nil, nil, err
 		}
-		engines = append(engines, eng)
-	}
-	if shards == 1 {
-		eng := engines[0]
 		if rrPath != "" {
 			if err := eng.OpenRRIndex(rrPath); err != nil {
-				return fail(err)
+				eng.Close()
+				return nil, nil, err
 			}
 		}
 		if irrPath != "" {
 			if err := eng.OpenIRRIndex(irrPath); err != nil {
-				return fail(err)
+				eng.Close()
+				return nil, nil, err
 			}
 		}
 		return eng, eng.Close, nil
 	}
-
-	topicsBy, err := engines[0].ShardTopics(shards, mode)
+	s, err := kbtim.OpenShardedIndexes(ds, opts, rrPath, irrPath, shards, mode, perShardWorkers)
 	if err != nil {
-		return fail(err)
-	}
-	pathFor := func(path string, shard int) string {
-		if mode == kbtim.ShardReplicate {
-			return path
-		}
-		return kbtim.ShardIndexPath(path, shard)
-	}
-	for i, eng := range engines {
-		if len(topicsBy[i]) == 0 {
-			continue
-		}
-		if rrPath != "" {
-			p := pathFor(rrPath, i)
-			if err := eng.OpenRRIndex(p); err != nil {
-				return fail(shardOpenErr(p, i, shards, mode, err))
-			}
-		}
-		if irrPath != "" {
-			p := pathFor(irrPath, i)
-			if err := eng.OpenIRRIndex(p); err != nil {
-				return fail(shardOpenErr(p, i, shards, mode, err))
-			}
-		}
-	}
-	s, err := kbtim.NewSharded(engines, mode, perShardWorkers)
-	if err != nil {
-		return fail(err)
+		return nil, nil, err
 	}
 	return s, s.Close, nil
-}
-
-// shardOpenErr decorates a per-shard open failure with the likely fix when
-// the file simply is not there.
-func shardOpenErr(path string, shard, shards int, mode kbtim.ShardMode, err error) error {
-	if os.IsNotExist(err) && mode != kbtim.ShardReplicate {
-		return fmt.Errorf("shard %d index %s missing (build per-shard files with kbtim-build -shards %d -shard-mode %s): %w",
-			shard, path, shards, mode, err)
-	}
-	return fmt.Errorf("shard %d: %w", shard, err)
 }

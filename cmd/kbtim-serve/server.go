@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
@@ -11,14 +12,17 @@ import (
 	"kbtim"
 	"kbtim/internal/diskio"
 	"kbtim/internal/objcache"
+	"kbtim/internal/remote"
 )
 
 // backend is the query surface the server routes to: a single
-// *kbtim.Engine or a *kbtim.Sharded multi-engine deployment — the handlers
-// are identical either way.
+// *kbtim.Engine, a *kbtim.Sharded multi-engine deployment, or a cross-node
+// fanout router — the handlers are identical either way. Queries carry the
+// request context, so a disconnected client cancels its in-flight query
+// instead of burning a worker slot to completion.
 type backend interface {
-	QueryRR(kbtim.Query) (*kbtim.Result, error)
-	QueryIRR(kbtim.Query) (*kbtim.Result, error)
+	QueryRRCtx(context.Context, kbtim.Query) (*kbtim.Result, error)
+	QueryIRRCtx(context.Context, kbtim.Query) (*kbtim.Result, error)
 	IndexedKeywords() []int
 	CacheStats() (rr, irr diskio.CacheStats)
 	DecodedCacheStats() (rr, irr objcache.Stats)
@@ -30,6 +34,20 @@ type shardStatser interface {
 	NumShards() int
 	Mode() kbtim.ShardMode
 	ShardStats() []kbtim.ShardStat
+}
+
+// healthChecker is the optional deep health probe a backend provides;
+// /healthz consults it (the fanout router checks every downstream node) and
+// reports 503 with the failure instead of a bare ok.
+type healthChecker interface {
+	CheckHealth(ctx context.Context) error
+}
+
+// routerStatser is the optional cross-node breakdown the fanout router
+// provides; /stats includes a router section (per-backend traffic, wire
+// bytes, and each node's own /stats) when the backend has one.
+type routerStatser interface {
+	RouterStats(ctx context.Context) *routerStatsJSON
 }
 
 // Server exposes a query backend over HTTP/JSON. Query execution runs
@@ -63,13 +81,18 @@ func NewServer(eng backend, workers int) *Server {
 	}
 }
 
-// Handler returns the route table.
+// Handler returns the route table. Backends that can serve raw index
+// artifacts (a single Engine) additionally expose the cross-node fetch
+// endpoint a fanout router reads through.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/keywords", s.handleKeywords)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if src, ok := s.eng.(remote.Source); ok {
+		mux.Handle(remote.ArtifactPath, remote.NewHandler(src))
+	}
 	return mux
 }
 
@@ -94,10 +117,13 @@ type ioJSON struct {
 	DecodedMisses   int64 `json:"decoded_misses"`
 }
 
-// queryResponse is the POST /query reply.
+// queryResponse is the POST /query reply. Marginals ride along so a fanout
+// router's proxied fast path loses nothing against its local scatter path
+// (and so parity across deployments is checkable over the wire).
 type queryResponse struct {
 	Strategy         string   `json:"strategy"`
 	Seeds            []uint32 `json:"seeds"`
+	Marginals        []int    `json:"marginals,omitempty"`
 	EstSpread        float64  `json:"est_spread"`
 	NumRRSets        int      `json:"num_rr_sets"`
 	PartitionsLoaded int      `json:"partitions_loaded,omitempty"`
@@ -160,9 +186,38 @@ type shardJSON struct {
 	IRRDecoded decodedCacheJSON `json:"irr_decoded_cache"`
 }
 
+// routerBackendJSON is one downstream node's slice of the router section.
+type routerBackendJSON struct {
+	URL string `json:"url"`
+	// Healthy is the node's live /healthz verdict at stats time.
+	Healthy bool `json:"healthy"`
+	// Queries counts queries this node participated in (proxied whole OR
+	// touched by a scatter), Proxied the whole-query fast-path subset.
+	Queries int64 `json:"queries"`
+	Proxied int64 `json:"proxied"`
+	// ArtifactFetches/WireBytes are the cumulative artifact traffic the
+	// router pulled from this node for spanning queries.
+	ArtifactFetches int64 `json:"artifact_fetches"`
+	WireBytes       int64 `json:"wire_bytes"`
+	// Stats embeds the node's own /stats reply verbatim (null if the node
+	// did not answer in time).
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// routerStatsJSON is the /stats router section: the fan-out picture plus
+// each downstream node's own counters, so one scrape sees the whole
+// deployment.
+type routerStatsJSON struct {
+	Mode      string              `json:"mode"`
+	Proxied   int64               `json:"proxied"`
+	Scattered int64               `json:"scattered"`
+	Backends  []routerBackendJSON `json:"backends"`
+}
+
 // statsResponse is the GET /stats reply. The cache sections aggregate over
 // every shard; Shards carries the per-shard breakdown when the backend is a
-// sharded deployment.
+// sharded deployment, Router the per-node breakdown when it is a cross-node
+// fanout.
 type statsResponse struct {
 	UptimeSec     float64          `json:"uptime_sec"`
 	Workers       int              `json:"workers"`
@@ -175,6 +230,7 @@ type statsResponse struct {
 	NumShards     int              `json:"num_shards"`
 	ShardMode     string           `json:"shard_mode,omitempty"`
 	Shards        []shardJSON      `json:"shards,omitempty"`
+	Router        *routerStatsJSON `json:"router,omitempty"`
 	RRCache       cacheJSON        `json:"rr_cache"`
 	IRRCache      cacheJSON        `json:"irr_cache"`
 	RRDecoded     decodedCacheJSON `json:"rr_decoded_cache"`
@@ -258,17 +314,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
+	// The request context rides into the query itself: when the client
+	// disconnects, the engine observes the cancellation at its next
+	// keyword-load or partition-round boundary and aborts, releasing this
+	// worker slot within one round instead of after a full Algorithm 2/4 run.
 	q := kbtim.Query{Topics: req.Topics, K: req.K}
 	start := time.Now()
 	var res *kbtim.Result
 	if strategy == "rr" {
-		res, err = s.eng.QueryRR(q)
+		res, err = s.eng.QueryRRCtx(r.Context(), q)
 	} else {
-		res, err = s.eng.QueryIRR(q)
+		res, err = s.eng.QueryIRRCtx(r.Context(), q)
 	}
 	if err != nil {
 		if r.Context().Err() != nil {
-			// The client vanished mid-query; skip the error body.
+			// The client vanished mid-query (the engine aborted on the
+			// canceled context, or the error raced the disconnect); skip the
+			// error body.
 			s.canceled.Add(1)
 			return
 		}
@@ -288,6 +350,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, queryResponse{
 		Strategy:         strategy,
 		Seeds:            res.Seeds,
+		Marginals:        res.Marginals,
 		EstSpread:        res.EstSpread,
 		NumRRSets:        res.NumRRSets,
 		PartitionsLoaded: res.PartitionsLoaded,
@@ -339,6 +402,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RRDecoded:     toDecodedCacheJSON(rrDec),
 		IRRDecoded:    toDecodedCacheJSON(irrDec),
 	}
+	if rs, ok := s.eng.(routerStatser); ok {
+		resp.Router = rs.RouterStats(r.Context())
+	}
 	if sh, ok := s.eng.(shardStatser); ok {
 		resp.NumShards = sh.NumShards()
 		resp.ShardMode = string(sh.Mode())
@@ -358,5 +424,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if hc, ok := s.eng.(healthChecker); ok {
+		if err := hc.CheckHealth(r.Context()); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 }

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -202,12 +204,31 @@ func TestShardedDriveClosedLoop(t *testing.T) {
 	}
 }
 
+// countFDs counts this process's open file descriptors (Linux only;
+// callers skip elsewhere) — the ground truth for "a failed open leaked no
+// file handles".
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ents)
+}
+
 // TestOpenBackendMissingShardFile: a non-empty shard without its index file
-// fails fast with a hint naming the build command.
+// fails fast with a hint naming the build command, tearing down cleanly.
 func TestOpenBackendMissingShardFile(t *testing.T) {
 	ds, opts, rrPath, irrPath := shardedFixture(t, 2)
 	_ = rrPath
-	// 3-shard serve over 2-shard files: at least one shard file is missing.
+	checkFDs := runtime.GOOS == "linux"
+	before := 0
+	if checkFDs {
+		before = countFDs(t)
+	}
+	// 3-shard serve over 2-shard files: at least one shard file is missing,
+	// and the shards that DID open must be torn down — earlier engines
+	// closed, no file handle left behind.
 	_, _, err := openBackend(ds, opts, "", irrPath, 3, kbtim.ShardHash, 0)
 	if err == nil {
 		t.Fatal("missing shard file accepted")
@@ -215,5 +236,10 @@ func TestOpenBackendMissingShardFile(t *testing.T) {
 	want := fmt.Sprintf("%s.s", irrPath)
 	if got := err.Error(); !strings.Contains(got, want) || !strings.Contains(got, "kbtim-build") {
 		t.Fatalf("unhelpful error: %v", err)
+	}
+	if checkFDs {
+		if after := countFDs(t); after != before {
+			t.Fatalf("failed openBackend leaked file descriptors: %d before, %d after", before, after)
+		}
 	}
 }

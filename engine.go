@@ -1,6 +1,7 @@
 package kbtim
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -13,6 +14,7 @@ import (
 	"kbtim/internal/irrindex"
 	"kbtim/internal/objcache"
 	"kbtim/internal/prop"
+	"kbtim/internal/remote"
 	"kbtim/internal/rng"
 	"kbtim/internal/rrindex"
 	"kbtim/internal/wris"
@@ -137,6 +139,12 @@ func (s IOStats) Total() int64 { return s.SequentialReads + s.RandomReads }
 type Result struct {
 	// Seeds are the selected seed users, in selection order.
 	Seeds []Seed
+	// Marginals[i] is the number of newly covered RR sets when Seeds[i] was
+	// picked — the greedy trace Theorem 3 proves identical between the RR
+	// and IRR strategies, and the cross-shard/cross-node parity tests pin
+	// across deployments (nil for the online strategies, which report no
+	// trace).
+	Marginals []int
 	// EstSpread is the estimated expected targeted influence E[I^Q(S)]
 	// in tf-idf units (vertex counts for QueryRIS).
 	EstSpread float64
@@ -591,17 +599,26 @@ func ioStats(s diskio.Stats, decHits, decMisses int64) IOStats {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryRR(q Query) (*Result, error) {
+	return e.QueryRRCtx(context.Background(), q)
+}
+
+// QueryRRCtx is QueryRR with cancellation: ctx is checked at every
+// keyword-load boundary, so a caller that goes away (a disconnected HTTP
+// client, a router-side timeout) stops paying for artifact fetches it no
+// longer wants. A canceled query returns ctx.Err().
+func (e *Engine) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 	h, err := e.acquireRR()
 	if err != nil {
 		return nil, err
 	}
 	defer h.release()
-	r, err := h.rr.Query(q.internal())
+	r, err := h.rr.QueryCtx(ctx, q.internal())
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Seeds:     r.Seeds,
+		Marginals: r.Marginals,
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
 		IO:        ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
@@ -613,23 +630,74 @@ func (e *Engine) QueryRR(q Query) (*Result, error) {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryIRR(q Query) (*Result, error) {
+	return e.QueryIRRCtx(context.Background(), q)
+}
+
+// QueryIRRCtx is QueryIRR with cancellation: ctx is checked at every
+// keyword-load and NRA partition-round boundary, so a canceled caller's
+// query stops within one partition round instead of running Algorithm 4 to
+// completion. A canceled query returns ctx.Err().
+func (e *Engine) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
 	h, err := e.acquireIRR()
 	if err != nil {
 		return nil, err
 	}
 	defer h.release()
-	r, err := h.irr.Query(q.internal())
+	r, err := h.irr.QueryCtx(ctx, q.internal())
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Seeds:            r.Seeds,
+		Marginals:        r.Marginals,
 		EstSpread:        r.EstSpread,
 		NumRRSets:        r.NumRRSets,
 		IO:               ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		PartitionsLoaded: r.PartitionsLoaded,
 		Elapsed:          r.Elapsed,
 	}, nil
+}
+
+// ArtifactBytes serves one raw index artifact — the serving side of the
+// cross-node fetch protocol (internal/remote): a router node opens this
+// engine's index remotely and fetches the same per-keyword units local
+// queries read (set prefixes, inverted regions, IP tables, partition
+// blocks), so cross-node results stay bit-identical to a local open of the
+// same file. kind is "rr" or "irr"; the returned size is the index file's
+// total byte length (remote Open needs it to validate directory offsets).
+// The handle is pinned for the read, exactly as a local query would, so a
+// concurrent Open/Close cannot pull the file out from under the fetch.
+//
+// Unknown kinds and kinds with no index attached wrap remote.ErrNoArtifact
+// — "this node does not serve that" (HTTP 404, what routers probe index
+// kinds with) — while a closed engine or a failed read is a plain error
+// (HTTP 500): callers must be able to tell "look elsewhere" from "retry".
+func (e *Engine) ArtifactBytes(kind, unit string, topic int, aux int64) ([]byte, int64, error) {
+	if kind != "rr" && kind != "irr" {
+		return nil, 0, fmt.Errorf("%w: unknown index kind %q (want rr or irr)", remote.ErrNoArtifact, kind)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, 0, fmt.Errorf("kbtim: engine is closed")
+	}
+	h := e.rrH
+	if kind == "irr" {
+		h = e.irrH
+	}
+	if h == nil {
+		e.mu.Unlock()
+		return nil, 0, fmt.Errorf("%w: no %s index attached", remote.ErrNoArtifact, kind)
+	}
+	h.refs.Add(1)
+	e.mu.Unlock()
+	defer h.release()
+	if kind == "rr" {
+		b, err := h.rr.ArtifactBytes(unit, topic, aux)
+		return b, h.rr.Size(), err
+	}
+	b, err := h.irr.ArtifactBytes(unit, topic, aux)
+	return b, h.irr.Size(), err
 }
 
 // EvaluateSpread Monte-Carlo-estimates the true expected targeted influence

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkRouterSmoke runs the cross-node experiment end to end at toy
+// scale — CI's bench-smoke step executes this, so the router harness
+// (artifact servers, remote opens, proxy fast path) cannot silently rot.
+func BenchmarkRouterSmoke(b *testing.B) {
+	env, err := NewEnv(tinyConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer env.Close()
+	for i := 0; i < b.N; i++ {
+		if err := RouterThroughput(io.Discard, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRouterThroughputTopologies asserts the topology axis is complete and
+// sane: all three arms present, plausible rates, a consistent scatter
+// fraction, and nonzero artifact wire traffic on the router arm only.
+func TestRouterThroughputTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router sweep skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	points, err := RunRouterThroughput(env, News)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	routerWire := 0.0
+	for _, p := range points {
+		seen[p.Topology] = true
+		if p.QPS <= 0 || p.Queries <= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+		if p.Scatter < 0 || p.Scatter > 1 {
+			t.Fatalf("scatter fraction out of range: %+v", p)
+		}
+		if p.Topology == "2-node router" {
+			routerWire += p.WireKB
+		} else if p.WireKB != 0 {
+			t.Fatalf("local topology reports wire traffic: %+v", p)
+		}
+	}
+	for _, want := range []string{"1-engine", "2-shard box", "2-node router"} {
+		if !seen[want] {
+			t.Fatalf("topology axis missing %q: %v", want, seen)
+		}
+	}
+	if routerWire == 0 {
+		t.Fatal("router arm moved no artifact bytes over the wire")
+	}
+}

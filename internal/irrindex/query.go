@@ -1,7 +1,9 @@
 package irrindex
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -29,12 +31,44 @@ const (
 // goroutines (provided the underlying reader supports concurrent positional
 // reads, as diskio.File, diskio.Mem, and diskio.CachedReader all do).
 type Index struct {
-	hdr  Header
-	dirs map[int]*KeywordDir
-	r    diskio.Segmented
-	dec  *objcache.Cache // optional decoded-object cache, set before first Query
-	par  int             // per-query artifact-load parallelism, set before first Query
+	hdr     Header
+	dirs    map[int]*KeywordDir
+	r       diskio.Segmented
+	prelude int64           // header+directory byte length (the UnitDir artifact)
+	dec     *objcache.Cache // optional decoded-object cache, set before first Query
+	par     int             // per-query artifact-load parallelism, set before first Query
+	fetch   Fetcher         // optional remote artifact source, set before first Query
 }
+
+// Artifact units of the IRR index, as named by the cross-node fetch protocol
+// (internal/remote): every raw byte range a query ever reads is one of
+// these, which is what lets a remote index fetch per-artifact instead of
+// per-offset.
+const (
+	// UnitDir is the index prelude: header plus keyword directory.
+	UnitDir = "dir"
+	// UnitIP is one keyword's first-occurrence (IP) table; aux is 0.
+	UnitIP = "ip"
+	// UnitPart is one partition block of a keyword; aux is the partition
+	// index.
+	UnitPart = "part"
+)
+
+// Fetcher returns the raw bytes of one named artifact of this index — the
+// pluggable byte source that lets an Index be backed by a remote node
+// instead of a local file. Implementations must return exactly the bytes
+// the local file holds for that unit (ArtifactBytes on the serving side is
+// the canonical producer), so decoded artifacts — and therefore query
+// results — are bit-identical to a local open of the same file.
+type Fetcher interface {
+	Fetch(ctx context.Context, unit string, topic int, aux int64) ([]byte, error)
+}
+
+// ErrNoArtifact marks an artifact request whose NAME does not resolve on
+// this index — unknown unit, unindexed keyword, out-of-range partition.
+// Serving layers map it to "not served here" (HTTP 404), as distinct from
+// a resolvable artifact whose read failed (a real server error).
+var ErrNoArtifact = errors.New("irrindex: no such artifact")
 
 // Open parses the header and directory of an IRR index accessible via r.
 func Open(r diskio.Segmented) (*Index, error) {
@@ -61,7 +95,7 @@ func Open(r diskio.Segmented) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r}
+	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r, prelude: preludeLen}
 	for i := 0; i < numKeywords; i++ {
 		d, err := parseKeywordDir(br, &hdr)
 		if err != nil {
@@ -100,6 +134,68 @@ func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
 // decoded-cache warmup, not waste, when a cache is attached). Must be called
 // before the index is shared between goroutines (i.e. right after Open).
 func (idx *Index) SetQueryParallelism(n int) { idx.par = n }
+
+// SetFetcher makes the index remote-backed: every artifact read bypasses the
+// local reader and asks f for the named unit instead (the decoded cache, when
+// attached, still fronts those fetches, so hot keywords skip the wire). Must
+// be called before the index is shared between goroutines (i.e. right after
+// Open); pass nil to go back to local reads.
+func (idx *Index) SetFetcher(f Fetcher) { idx.fetch = f }
+
+// Size returns the total byte length of the underlying index file (for a
+// remote-backed index, the size the serving node advertised).
+func (idx *Index) Size() int64 { return idx.r.Size() }
+
+// ArtifactBytes serves one named artifact's raw bytes from the local index —
+// the serving side of the cross-node fetch protocol. Reads go through the
+// index's shared reader (and so through the segment cache when one is
+// attached). aux is the partition index for UnitPart and ignored otherwise.
+func (idx *Index) ArtifactBytes(unit string, topic int, aux int64) ([]byte, error) {
+	if unit == UnitDir {
+		return idx.r.ReadSegment(0, idx.prelude)
+	}
+	d := idx.dirs[topic]
+	if d == nil {
+		return nil, fmt.Errorf("%w: keyword %d not indexed", ErrNoArtifact, topic)
+	}
+	switch unit {
+	case UnitIP:
+		return idx.r.ReadSegment(d.IPOff, d.IPLen)
+	case UnitPart:
+		if aux < 0 || aux >= int64(len(d.Partitions)) {
+			return nil, fmt.Errorf("%w: keyword %d has %d partitions, asked for %d", ErrNoArtifact, topic, len(d.Partitions), aux)
+		}
+		p := d.Partitions[aux]
+		return idx.r.ReadSegment(p.Off, p.Len)
+	default:
+		return nil, fmt.Errorf("%w: unknown artifact unit %q", ErrNoArtifact, unit)
+	}
+}
+
+// artifact returns one artifact's raw bytes for a query: from the remote
+// fetcher when the index is remote-backed (recording the transfer in the
+// query's I/O scope, so wire bytes surface in the usual I/O stats), else one
+// ReadSegment against the local reader. off/length locate the unit in the
+// file — the fetched payload must be exactly that long, a cheap end-to-end
+// check that the remote node serves the same index this directory describes.
+func (idx *Index) artifact(ctx context.Context, r diskio.Segmented, unit string, topic int, aux, off, length int64) ([]byte, error) {
+	if idx.fetch == nil {
+		return r.ReadSegment(off, length)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := idx.fetch.Fetch(ctx, unit, topic, aux)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) != length {
+		return nil, fmt.Errorf("irrindex: remote %s artifact for keyword %d is %d bytes, directory says %d",
+			unit, topic, len(b), length)
+	}
+	r.Counter().Record(off, len(b))
+	return b, nil
+}
 
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
@@ -340,6 +436,14 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	return QueryMulti(func(int) *Index { return idx }, q)
 }
 
+// QueryCtx is Query with cancellation: ctx is checked at every keyword-load
+// and NRA partition-round boundary (and passed to the remote fetcher, when
+// one is attached), so a canceled caller stops paying for rounds it no
+// longer wants.
+func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, error) {
+	return QueryMultiCtx(ctx, func(int) *Index { return idx }, q)
+}
+
 // QueryMulti answers a KB-TIM query with Algorithm 4 over a
 // keyword-partitioned set of indexes: owner(w) returns the Index holding
 // keyword w (nil = not indexed anywhere). The NRA aggregation is already
@@ -352,7 +456,21 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 // returns exactly the seeds, marginals, and spread a single full index
 // would. The reported IO is the sum over the involved indexes' scopes.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	return QueryMultiCtx(context.Background(), owner, q)
+}
+
+// QueryMultiCtx is QueryMulti with cancellation: ctx is checked before every
+// keyword's IP load and at the top of every NRA partition round, so a
+// canceled query stops within one round — it never fetches another full
+// round of partitions for a client that hung up. Outstanding speculative
+// prefetches are still drained before returning (they read through this
+// query's I/O scope), so cancellation never leaks a goroutine into a
+// released index handle.
+func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(q.Topics) == 0 {
 		return nil, fmt.Errorf("irrindex: query needs at least one keyword")
 	}
@@ -552,9 +670,12 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 				defer wg.Done()
 				fetchSem <- struct{}{}
 				defer func() { <-fetchSem }()
-				st.err = st.idx.loadIP(st.r, st, &st.dec)
+				if st.err = ctx.Err(); st.err != nil {
+					return
+				}
+				st.err = st.idx.loadIP(ctx, st.r, st, &st.dec)
 				if st.err == nil && st.maxParts > 0 {
-					st.pref = st.idx.prefetchPartition(st.r, st, fetchSem)
+					st.pref = st.idx.prefetchPartition(ctx, st.r, st, fetchSem)
 				}
 			}(st)
 		}
@@ -567,7 +688,10 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 		}
 	} else {
 		for _, st := range states {
-			if err := st.idx.loadIP(st.r, st, &dec); err != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := st.idx.loadIP(ctx, st.r, st, &dec); err != nil {
 				return nil, fmt.Errorf("irrindex: keyword %d IP: %w", st.topicID, err)
 			}
 		}
@@ -575,7 +699,10 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 
 	// Prime with the first partition of every keyword.
 	for _, st := range states {
-		pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		pending, err = st.idx.loadNextPartition(ctx, st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 		if err != nil {
 			return nil, err
 		}
@@ -672,6 +799,12 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 		}
 	}
 	for len(res.Seeds) < q.K {
+		// The partition-round boundary: each iteration fetches at most one
+		// round of partitions, so a canceled client's query stops within one
+		// round instead of running Algorithm 4 to completion.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if h.len() == 0 {
 			// The heap drained, but undiscovered users in unloaded
 			// partitions may still score positively — padding now would
@@ -681,7 +814,7 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 			progress := false
 			for _, st := range states {
 				if st.next < st.maxParts {
-					pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
+					pending, err = st.idx.loadNextPartition(ctx, st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 					if err != nil {
 						return nil, err
 					}
@@ -733,7 +866,7 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
-				pending, err = st.idx.loadNextPartition(st.r, st, pushed, &dec, fetchSem, &blocks, pending)
+				pending, err = st.idx.loadNextPartition(ctx, st.r, st, pushed, &dec, fetchSem, &blocks, pending)
 				if err != nil {
 					return nil, err
 				}
@@ -780,9 +913,9 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 // loadIP attaches a keyword's first-occurrence table to st, through the
 // decoded cache when one is attached. The table is shared read-only between
 // queries.
-func (idx *Index) loadIP(r diskio.Segmented, st *kwState, dec *decCounters) error {
+func (idx *Index) loadIP(ctx context.Context, r diskio.Segmented, st *kwState, dec *decCounters) error {
 	if idx.dec == nil {
-		ip, err := idx.decodeIP(r, st.dir)
+		ip, err := idx.decodeIP(ctx, r, st.dir)
 		if err != nil {
 			return err
 		}
@@ -790,10 +923,16 @@ func (idx *Index) loadIP(r diskio.Segmented, st *kwState, dec *decCounters) erro
 		st.fillIPHot()
 		return nil
 	}
+	// The loader runs under singleflight: concurrent queries share one
+	// load, so it must not die with the query that happened to lead it — a
+	// canceled leader would poison every live waiter with ITS ctx error.
+	// Detach cancellation for the load; the canceled query still stops at
+	// its next boundary check.
+	lctx := context.WithoutCancel(ctx)
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionIP, Topic: int32(st.dir.TopicID)},
 		func() (any, int64, error) {
-			ip, err := idx.decodeIP(r, st.dir)
+			ip, err := idx.decodeIP(lctx, r, st.dir)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -825,8 +964,8 @@ func (st *kwState) fillIPHot() {
 
 // decodeIP reads and parses a keyword's first-occurrence table through the
 // query's scope.
-func (idx *Index) decodeIP(r diskio.Segmented, d *KeywordDir) (map[uint32]int32, error) {
-	buf, err := r.ReadSegment(d.IPOff, d.IPLen)
+func (idx *Index) decodeIP(ctx context.Context, r diskio.Segmented, d *KeywordDir) (map[uint32]int32, error) {
+	buf, err := idx.artifact(ctx, r, UnitIP, d.TopicID, 0, d.IPOff, d.IPLen)
 	if err != nil {
 		return nil, err
 	}
@@ -878,14 +1017,14 @@ func (b *partBlock) release() {
 // and returns the future the next loadNextPartition consumes. The goroutine
 // owns the future's fields until done is closed, and takes a slot on the
 // query's fetch semaphore so speculation honors the parallelism bound.
-func (idx *Index) prefetchPartition(r diskio.Segmented, st *kwState, sem chan struct{}) *partFuture {
+func (idx *Index) prefetchPartition(ctx context.Context, r diskio.Segmented, st *kwState, sem chan struct{}) *partFuture {
 	f := &partFuture{pi: st.next, done: make(chan struct{})}
 	d, t := st.dir, st.thetaQw
 	go func() {
 		defer close(f.done)
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		f.blk, f.err = idx.partition(r, d, f.pi, t, &f.dec)
+		f.blk, f.err = idx.partition(ctx, r, d, f.pi, t, &f.dec)
 	}()
 	return f
 }
@@ -898,7 +1037,7 @@ func (idx *Index) prefetchPartition(r diskio.Segmented, st *kwState, sem chan st
 // them once their cross-keyword upper bound is known), and, when spec is
 // set, kicks off the NEXT partition's speculative fetch. Query-private
 // blocks are appended to *blocks for release at query end.
-func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed []bool, dec *decCounters, sem chan struct{}, blocks *[]*partBlock, pending []uint32) ([]uint32, error) {
+func (idx *Index) loadNextPartition(ctx context.Context, r diskio.Segmented, st *kwState, pushed []bool, dec *decCounters, sem chan struct{}, blocks *[]*partBlock, pending []uint32) ([]uint32, error) {
 	if st.next >= st.maxParts {
 		return pending, nil
 	}
@@ -911,7 +1050,7 @@ func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed []bo
 		dec.add(f.dec)
 		blk, err = f.blk, f.err
 	} else {
-		blk, err = idx.partition(r, st.dir, pi, st.thetaQw, dec)
+		blk, err = idx.partition(ctx, r, st.dir, pi, st.thetaQw, dec)
 	}
 	if err != nil {
 		return pending, err
@@ -954,7 +1093,7 @@ func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed []bo
 			st.kb = st.thetaQw
 		}
 		if sem != nil && st.pref == nil {
-			st.pref = idx.prefetchPartition(r, st, sem)
+			st.pref = idx.prefetchPartition(ctx, r, st, sem)
 		}
 	}
 	return pending, nil
@@ -965,14 +1104,16 @@ func (idx *Index) loadNextPartition(r diskio.Segmented, st *kwState, pushed []bo
 // so its lists are trimmed to IDs < thetaQw during decode; the cached
 // artifact is decoded in full (and never pooled) because it is shared by
 // queries with different θ^Q_w.
-func (idx *Index) partition(r diskio.Segmented, d *KeywordDir, pi, thetaQw int, dec *decCounters) (*partBlock, error) {
+func (idx *Index) partition(ctx context.Context, r diskio.Segmented, d *KeywordDir, pi, thetaQw int, dec *decCounters) (*partBlock, error) {
 	if idx.dec == nil {
-		return idx.decodePartition(r, d, pi, thetaQw, true)
+		return idx.decodePartition(ctx, r, d, pi, thetaQw, true)
 	}
+	// Detached ctx for the same singleflight-sharing reason as loadIP.
+	lctx := context.WithoutCancel(ctx)
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionPart, Topic: int32(d.TopicID), Aux: int64(pi)},
 		func() (any, int64, error) {
-			blk, err := idx.decodePartition(r, d, pi, int(d.ThetaW), false)
+			blk, err := idx.decodePartition(lctx, r, d, pi, int(d.ThetaW), false)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -1001,9 +1142,9 @@ func (idx *Index) partition(r diskio.Segmented, d *KeywordDir, pi, thetaQw int, 
 // pools; its arena is pre-sized to the partition's byte length (a safe upper
 // bound on decoded entries — every entry costs at least one byte), so the
 // per-user subslices never move.
-func (idx *Index) decodePartition(r diskio.Segmented, d *KeywordDir, pi, limit int, pooled bool) (*partBlock, error) {
+func (idx *Index) decodePartition(ctx context.Context, r diskio.Segmented, d *KeywordDir, pi, limit int, pooled bool) (*partBlock, error) {
 	p := d.Partitions[pi]
-	buf, err := r.ReadSegment(p.Off, p.Len)
+	buf, err := idx.artifact(ctx, r, UnitPart, d.TopicID, int64(pi), p.Off, p.Len)
 	if err != nil {
 		return nil, err
 	}

@@ -108,6 +108,20 @@ type Stats struct {
 	BudgetBytes int64 // configured byte budget
 }
 
+// Add returns the element-wise sum of two snapshots — the aggregation
+// serving layers use when one logical deployment spans several caches
+// (per-shard engines, per-backend router caches).
+func (s Stats) Add(o Stats) Stats {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Shared += o.Shared
+	s.Evictions += o.Evictions
+	s.Entries += o.Entries
+	s.BytesCached += o.BytesCached
+	s.BudgetBytes += o.BudgetBytes
+	return s
+}
+
 // HitRate returns the fraction of lookups that avoided a decode (hits plus
 // shared loads), or 0 before any lookup.
 func (s Stats) HitRate() float64 {

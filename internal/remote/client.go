@@ -1,0 +1,176 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"kbtim/internal/diskio"
+	"kbtim/internal/irrindex"
+	"kbtim/internal/rrindex"
+)
+
+// ErrNotServed reports that the node answered but does not serve the
+// requested artifact (a 404) — "that node has no such index/keyword", as
+// opposed to the node being unreachable. Routers probe index kinds with it.
+var ErrNotServed = errors.New("remote: artifact not served")
+
+// maxArtifactBytes caps one artifact response. Artifacts are bounded by the
+// index file, so the cap only guards against a confused or hostile peer
+// streaming forever.
+const maxArtifactBytes = 1 << 30
+
+// WireStats is a snapshot of a client's cumulative transfer counters.
+type WireStats struct {
+	// Fetches is the number of artifact requests that returned 200.
+	Fetches int64
+	// Bytes is the total payload bytes those fetches carried.
+	Bytes int64
+}
+
+// Client fetches index artifacts from one serving node. It is safe for
+// concurrent use; every open index created through it shares the client's
+// transfer counters, so a router can report per-backend wire traffic.
+type Client struct {
+	base    string // ".../internal/artifact", no trailing query
+	hc      *http.Client
+	fetches atomic.Int64
+	bytes   atomic.Int64
+}
+
+// NewClient returns a client against the node at base (e.g.
+// "http://host:8080" — ArtifactPath is appended). hc may be nil for a
+// default client with a 30s timeout; routers multiplexing many spanning
+// queries should pass their own tuned client.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{base: base + ArtifactPath, hc: hc}
+}
+
+// Stats returns the cumulative wire counters.
+func (c *Client) Stats() WireStats {
+	return WireStats{Fetches: c.fetches.Load(), Bytes: c.bytes.Load()}
+}
+
+// Fetch retrieves one artifact, returning its payload and the index file
+// size the node advertised alongside it.
+func (c *Client) Fetch(ctx context.Context, kind, unit string, topic int, aux int64) ([]byte, int64, error) {
+	q := url.Values{}
+	q.Set("kind", kind)
+	q.Set("unit", unit)
+	q.Set("topic", strconv.Itoa(topic))
+	q.Set("aux", strconv.FormatInt(aux, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"?"+q.Encode(), nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, 0, fmt.Errorf("%w: %s %s artifact (topic %d, aux %d): %s",
+				ErrNotServed, kind, unit, topic, aux, strings.TrimSpace(string(msg)))
+		}
+		return nil, 0, fmt.Errorf("remote: %s %s artifact (topic %d, aux %d): %s: %s",
+			kind, unit, topic, aux, resp.Status, msg)
+	}
+	if v := resp.Header.Get(headerVersion); v != strconv.Itoa(Version) {
+		return nil, 0, fmt.Errorf("remote: node speaks artifact protocol %q, this client speaks %d", v, Version)
+	}
+	size, err := strconv.ParseInt(resp.Header.Get(headerIndexSize), 10, 64)
+	if err != nil || size <= 0 {
+		return nil, 0, fmt.Errorf("remote: missing or bad %s header %q", headerIndexSize, resp.Header.Get(headerIndexSize))
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxArtifactBytes+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(b) > maxArtifactBytes {
+		return nil, 0, fmt.Errorf("remote: artifact exceeds %d-byte cap", int64(maxArtifactBytes))
+	}
+	c.fetches.Add(1)
+	c.bytes.Add(int64(len(b)))
+	return b, size, nil
+}
+
+// kindFetcher binds a client to one index kind, satisfying both
+// rrindex.Fetcher and irrindex.Fetcher (identical shapes).
+type kindFetcher struct {
+	c    *Client
+	kind string
+}
+
+func (f kindFetcher) Fetch(ctx context.Context, unit string, topic int, aux int64) ([]byte, error) {
+	b, _, err := f.c.Fetch(ctx, f.kind, unit, topic, aux)
+	return b, err
+}
+
+// stubReader backs a remote-opened index: it serves the already-fetched
+// prelude to Open's header/directory reads and reports the advertised file
+// size for offset validation. Payload reads never reach it — they go
+// through the fetcher — so anything past the prelude is an error, loudly
+// catching any future read path that forgot to be fetch-aware.
+type stubReader struct {
+	prelude []byte
+	size    int64
+	counter *diskio.Counter
+}
+
+func (s *stubReader) ReadSegment(off, length int64) ([]byte, error) {
+	if off < 0 || length < 0 || off+length > int64(len(s.prelude)) {
+		return nil, fmt.Errorf("remote: segment [%d,%d) outside the fetched prelude (%d bytes) — remote indexes read payloads through the fetcher only",
+			off, off+length, len(s.prelude))
+	}
+	b := make([]byte, length)
+	copy(b, s.prelude[off:off+length])
+	return b, nil
+}
+
+func (s *stubReader) Size() int64              { return s.size }
+func (s *stubReader) Counter() *diskio.Counter { return s.counter }
+
+// OpenRR opens the node's RR index remotely: one "dir" fetch brings the
+// header and keyword directory over (parsed by the exact code a local open
+// runs, including offset validation against the advertised file size), and
+// the returned index fetches every payload artifact through this client.
+// Attach a decoded cache (SetDecodedCache) to keep hot artifacts on this
+// side of the wire.
+func (c *Client) OpenRR(ctx context.Context) (*rrindex.Index, error) {
+	prelude, size, err := c.Fetch(ctx, KindRR, rrindex.UnitDir, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := rrindex.Open(&stubReader{prelude: prelude, size: size, counter: diskio.NewCounter()})
+	if err != nil {
+		return nil, err
+	}
+	idx.SetFetcher(kindFetcher{c: c, kind: KindRR})
+	return idx, nil
+}
+
+// OpenIRR opens the node's IRR index remotely; see OpenRR.
+func (c *Client) OpenIRR(ctx context.Context) (*irrindex.Index, error) {
+	prelude, size, err := c.Fetch(ctx, KindIRR, irrindex.UnitDir, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := irrindex.Open(&stubReader{prelude: prelude, size: size, counter: diskio.NewCounter()})
+	if err != nil {
+		return nil, err
+	}
+	idx.SetFetcher(kindFetcher{c: c, kind: KindIRR})
+	return idx, nil
+}

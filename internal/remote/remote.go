@@ -1,0 +1,174 @@
+// Package remote is the cross-node artifact-fetch protocol behind KB-TIM's
+// scatter-gather router (DESIGN.md §6.2): it lets one process open another
+// process's disk index and query it with the per-keyword artifact reads
+// going over HTTP instead of a local file.
+//
+// The wire unit is the ARTIFACT, not the byte range: every raw segment a
+// query ever reads is one of the named units the index packages declare —
+// the RR index's keyword set-prefix ("sets", aux = θ-prefix length) and
+// inverted region ("inv"), the IRR index's IP table ("ip") and partition
+// block ("part", aux = partition index), plus each index's prelude ("dir",
+// header + keyword directory). These are exactly the units the decoded
+// cache (internal/objcache) keys on, so a router-side cache fronts the wire
+// the same way a serve-side cache fronts the disk: a hot keyword skips the
+// network AND the decode.
+//
+// Protocol (version 1):
+//
+//	GET <path>?kind=rr|irr&unit=dir|sets|inv|ip|part&topic=T&aux=A
+//
+//	200 → raw artifact bytes, exactly as stored in the index file, with
+//	      X-Kbtim-Artifact-Version: 1 and X-Kbtim-Index-Size: <total file
+//	      bytes> (the remote open validates directory offsets against it)
+//	404 → the node serves no such kind/unit/topic
+//	400 → malformed parameters
+//
+// Because payloads are the stored bytes verbatim and every decode runs with
+// the directory the serving node itself uses, a query over remote indexes
+// is bit-identical to the same query over local opens of the same files —
+// the parity invariant the router's spanning-query path relies on.
+package remote
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"kbtim/internal/irrindex"
+	"kbtim/internal/rrindex"
+)
+
+// ErrNoArtifact marks a request whose NAME does not resolve on this node —
+// unknown kind, no index of that kind attached. Sources wrap it (the index
+// packages have their own equivalents for unknown unit/keyword/partition)
+// so the handler can answer 404 "not served here", while a resolvable
+// artifact whose read failed stays a 500: routers must be able to tell
+// "that keyword lives elsewhere" from "retry this node".
+var ErrNoArtifact = errors.New("remote: no such artifact")
+
+// notServed reports whether err means the artifact name does not resolve
+// (any layer's sentinel), as opposed to a read/engine failure.
+func notServed(err error) bool {
+	return errors.Is(err, ErrNoArtifact) ||
+		errors.Is(err, rrindex.ErrNoArtifact) ||
+		errors.Is(err, irrindex.ErrNoArtifact)
+}
+
+// Protocol constants.
+const (
+	// Version is the artifact protocol version; client and server must
+	// agree exactly (the payload encoding is the index file format itself,
+	// which carries its own version in the "dir" unit).
+	Version = 1
+	// ArtifactPath is the conventional mount point of the handler on a
+	// kbtim-serve node.
+	ArtifactPath = "/internal/artifact"
+	// KindRR and KindIRR name the two index kinds.
+	KindRR  = "rr"
+	KindIRR = "irr"
+
+	headerVersion   = "X-Kbtim-Artifact-Version"
+	headerIndexSize = "X-Kbtim-Index-Size"
+)
+
+// Source serves raw artifact bytes from locally attached indexes; it is the
+// seam between the HTTP handler and the index layer. kbtim.Engine
+// implements it (pinning the index handle for each read), and
+// IndexSource adapts bare rrindex/irrindex Index values for tests and
+// benchmarks. The returned size is the index file's total byte length.
+type Source interface {
+	ArtifactBytes(kind, unit string, topic int, aux int64) ([]byte, int64, error)
+}
+
+// NewHandler returns the HTTP handler serving src's artifacts — mount it at
+// ArtifactPath. Responses carry the protocol version and the index size;
+// failures map to 400 (bad parameters) or 404 (nothing served under that
+// kind/unit/topic on this node).
+func NewHandler(src Source) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		kind, unit := q.Get("kind"), q.Get("unit")
+		if kind == "" || unit == "" {
+			http.Error(w, "kind and unit are required", http.StatusBadRequest)
+			return
+		}
+		topic, aux := 0, int64(0)
+		var err error
+		if s := q.Get("topic"); s != "" {
+			if topic, err = strconv.Atoi(s); err != nil {
+				http.Error(w, fmt.Sprintf("bad topic %q", s), http.StatusBadRequest)
+				return
+			}
+		}
+		if s := q.Get("aux"); s != "" {
+			if aux, err = strconv.ParseInt(s, 10, 64); err != nil {
+				http.Error(w, fmt.Sprintf("bad aux %q", s), http.StatusBadRequest)
+				return
+			}
+		}
+		b, size, err := src.ArtifactBytes(kind, unit, topic, aux)
+		if err != nil {
+			// A name that does not resolve here — unknown kind/unit,
+			// keyword not indexed, no index of that kind attached — is a
+			// 404 (routers probe index kinds with it). A resolvable
+			// artifact whose read failed (disk error, engine mid-close) is
+			// a real server error, NOT "not served": a 404 here would
+			// misroute failover logic.
+			if notServed(err) {
+				http.Error(w, err.Error(), http.StatusNotFound)
+			} else {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set(headerVersion, strconv.Itoa(Version))
+		h.Set(headerIndexSize, strconv.FormatInt(size, 10))
+		h.Set("Content-Length", strconv.Itoa(len(b)))
+		w.Write(b)
+	})
+}
+
+// IndexSource adapts directly opened Index values to the Source interface
+// (no engine, no handle pinning — the caller owns the index lifetimes).
+// Either field may be nil; its kind is then not served.
+type IndexSource struct {
+	RR  rrArtifacts
+	IRR irrArtifacts
+}
+
+// rrArtifacts / irrArtifacts are the tiny per-kind surfaces IndexSource
+// needs; *rrindex.Index and *irrindex.Index satisfy them.
+type rrArtifacts interface {
+	ArtifactBytes(unit string, topic int, aux int64) ([]byte, error)
+	Size() int64
+}
+
+type irrArtifacts = rrArtifacts
+
+// ArtifactBytes implements Source.
+func (s IndexSource) ArtifactBytes(kind, unit string, topic int, aux int64) ([]byte, int64, error) {
+	var idx rrArtifacts
+	switch kind {
+	case KindRR:
+		idx = s.RR
+	case KindIRR:
+		idx = s.IRR
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown index kind %q (want rr or irr)", ErrNoArtifact, kind)
+	}
+	if idx == nil {
+		return nil, 0, fmt.Errorf("%w: no %s index attached", ErrNoArtifact, kind)
+	}
+	b, err := idx.ArtifactBytes(unit, topic, aux)
+	if err != nil {
+		return nil, 0, err
+	}
+	return b, idx.Size(), nil
+}

@@ -1,7 +1,9 @@
 package rrindex
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -30,12 +32,45 @@ const (
 // supports concurrent positional reads, as diskio.File, diskio.Mem, and
 // diskio.CachedReader all do).
 type Index struct {
-	hdr  Header
-	dirs map[int]*KeywordDir
-	r    diskio.Segmented
-	dec  *objcache.Cache // optional decoded-object cache, set before first Query
-	par  int             // per-query artifact-load parallelism, set before first Query
+	hdr     Header
+	dirs    map[int]*KeywordDir
+	r       diskio.Segmented
+	prelude int64           // header+directory byte length (the UnitDir artifact)
+	dec     *objcache.Cache // optional decoded-object cache, set before first Query
+	par     int             // per-query artifact-load parallelism, set before first Query
+	fetch   Fetcher         // optional remote artifact source, set before first Query
 }
+
+// Artifact units of the RR index, as named by the cross-node fetch protocol
+// (internal/remote): every raw byte range a query ever reads is one of
+// these, which is what lets a remote index fetch per-artifact instead of
+// per-offset.
+const (
+	// UnitDir is the index prelude: header plus keyword directory.
+	UnitDir = "dir"
+	// UnitSets is one keyword's θ-prefix of RR sets; aux is the prefix
+	// length t (the payload is the checkpoint-aligned first prefixBytes(t)
+	// bytes of the sets region).
+	UnitSets = "sets"
+	// UnitInv is one keyword's whole inverted region; aux is 0.
+	UnitInv = "inv"
+)
+
+// Fetcher returns the raw bytes of one named artifact of this index — the
+// pluggable byte source that lets an Index be backed by a remote node
+// instead of a local file. Implementations must return exactly the bytes
+// the local file holds for that unit (ArtifactBytes on the serving side is
+// the canonical producer), so decoded artifacts — and therefore query
+// results — are bit-identical to a local open of the same file.
+type Fetcher interface {
+	Fetch(ctx context.Context, unit string, topic int, aux int64) ([]byte, error)
+}
+
+// ErrNoArtifact marks an artifact request whose NAME does not resolve on
+// this index — unknown unit, unindexed keyword, out-of-range refinement.
+// Serving layers map it to "not served here" (HTTP 404), as distinct from
+// a resolvable artifact whose read failed (a real server error).
+var ErrNoArtifact = errors.New("rrindex: no such artifact")
 
 // Open parses the header and directory of an index accessible through r.
 // The payload stays on "disk" and is fetched per query.
@@ -63,7 +98,7 @@ func Open(r diskio.Segmented) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
-	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r}
+	idx := &Index{hdr: hdr, dirs: make(map[int]*KeywordDir, numKeywords), r: r, prelude: preludeLen}
 	for i := 0; i < numKeywords; i++ {
 		d, err := parseKeywordDir(hr, &hdr)
 		if err != nil {
@@ -94,6 +129,67 @@ func (idx *Index) SetDecodedCache(c *objcache.Cache) { idx.dec = c }
 // per-query I/O stats change. Must be called before the index is shared
 // between goroutines (i.e. right after Open).
 func (idx *Index) SetQueryParallelism(n int) { idx.par = n }
+
+// SetFetcher makes the index remote-backed: every artifact read bypasses the
+// local reader and asks f for the named unit instead (the decoded cache, when
+// attached, still fronts those fetches, so hot keywords skip the wire). Must
+// be called before the index is shared between goroutines (i.e. right after
+// Open); pass nil to go back to local reads.
+func (idx *Index) SetFetcher(f Fetcher) { idx.fetch = f }
+
+// Size returns the total byte length of the underlying index file (for a
+// remote-backed index, the size the serving node advertised).
+func (idx *Index) Size() int64 { return idx.r.Size() }
+
+// ArtifactBytes serves one named artifact's raw bytes from the local index —
+// the serving side of the cross-node fetch protocol. Reads go through the
+// index's shared reader (and so through the segment cache when one is
+// attached). aux is the θ-prefix length for UnitSets and ignored otherwise.
+func (idx *Index) ArtifactBytes(unit string, topic int, aux int64) ([]byte, error) {
+	if unit == UnitDir {
+		return idx.r.ReadSegment(0, idx.prelude)
+	}
+	d := idx.dirs[topic]
+	if d == nil {
+		return nil, fmt.Errorf("%w: keyword %d not indexed", ErrNoArtifact, topic)
+	}
+	switch unit {
+	case UnitSets:
+		if aux < 1 {
+			return nil, fmt.Errorf("%w: sets artifact needs a positive prefix length, got %d", ErrNoArtifact, aux)
+		}
+		return idx.r.ReadSegment(d.SetsOff, d.prefixBytes(aux))
+	case UnitInv:
+		return idx.r.ReadSegment(d.InvOff, d.InvLen)
+	default:
+		return nil, fmt.Errorf("%w: unknown artifact unit %q", ErrNoArtifact, unit)
+	}
+}
+
+// artifact returns one artifact's raw bytes for a query: from the remote
+// fetcher when the index is remote-backed (recording the transfer in the
+// query's I/O scope, so wire bytes surface in the usual I/O stats), else one
+// ReadSegment against the local reader. off/length locate the unit in the
+// file — the fetched payload must be exactly that long, a cheap end-to-end
+// check that the remote node serves the same index this directory describes.
+func (idx *Index) artifact(ctx context.Context, r diskio.Segmented, unit string, topic int, aux, off, length int64) ([]byte, error) {
+	if idx.fetch == nil {
+		return r.ReadSegment(off, length)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := idx.fetch.Fetch(ctx, unit, topic, aux)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(b)) != length {
+		return nil, fmt.Errorf("rrindex: remote %s artifact for keyword %d is %d bytes, directory says %d",
+			unit, topic, len(b), length)
+	}
+	r.Counter().Record(off, len(b))
+	return b, nil
+}
 
 // Header returns the index-wide metadata.
 func (idx *Index) Header() Header { return idx.hdr }
@@ -229,6 +325,13 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 	return QueryMulti(func(int) *Index { return idx }, q)
 }
 
+// QueryCtx is Query with cancellation: ctx is checked at every keyword-load
+// boundary (and passed to the remote fetcher, when one is attached), so a
+// canceled caller stops paying for fetches it no longer wants.
+func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, error) {
+	return QueryMultiCtx(ctx, func(int) *Index { return idx }, q)
+}
+
 // QueryMulti answers a KB-TIM query with Algorithm 2 over a
 // keyword-partitioned set of indexes: owner(w) returns the Index holding
 // keyword w (nil = not indexed anywhere). Per-keyword artifacts are
@@ -240,7 +343,19 @@ func (idx *Index) Query(q topic.Query) (*QueryResult, error) {
 // index reads through its own per-query I/O scope; the reported IO is their
 // sum.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	return QueryMultiCtx(context.Background(), owner, q)
+}
+
+// QueryMultiCtx is QueryMulti with cancellation: ctx is checked before every
+// keyword's artifact load (the unit of work between checks, so cancellation
+// latency is bounded by one fetch+decode) and once more before the coverage
+// solve. A canceled query returns ctx.Err() wrapped in the usual keyword
+// error context.
+func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
 	start := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(q.Topics) == 0 {
 		return nil, fmt.Errorf("rrindex: query needs at least one keyword")
 	}
@@ -349,14 +464,19 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 	// keyword order either way, so results are identical.
 	arts := make([]kwArtifacts, len(q.Topics))
 	fetchOne := func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
-		a.batch, a.err = ix.setsPrefix(r, d, t, &a.dec)
+		// The keyword-load boundary is the cancellation unit: a canceled
+		// query abandons every keyword it has not started yet.
+		if a.err = ctx.Err(); a.err != nil {
+			return
+		}
+		a.batch, a.err = ix.setsPrefix(ctx, r, d, t, &a.dec)
 		if a.err != nil {
 			return
 		}
 		if ix.dec == nil {
-			a.pverts, a.pids, a.err = ix.decodeInvPairs(r, d, t)
+			a.pverts, a.pids, a.err = ix.decodeInvPairs(ctx, r, d, t)
 		} else {
-			a.inv, a.err = ix.invTable(r, d, &a.dec)
+			a.inv, a.err = ix.invTable(ctx, r, d, &a.dec)
 		}
 	}
 	par := base.par
@@ -465,6 +585,11 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 		loaded[w] = t
 	}
 
+	// The solve is pure CPU on fully merged state, so this is the last
+	// moment a canceled query can stop early.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	total := int(offset)
 	inst := &coverage.Instance{
 		NumVertices: base.hdr.NumVertices,
@@ -520,14 +645,21 @@ func trimLen(list []int32, t int) int {
 // distinct prefix is its own artifact, exactly as hot repeated queries
 // produce). Without a cache the batch is query-private and pool-backed; the
 // caller returns it after the solve.
-func (idx *Index) setsPrefix(r diskio.Segmented, d *KeywordDir, t int, dec *decCounters) (*rrset.Batch, error) {
+func (idx *Index) setsPrefix(ctx context.Context, r diskio.Segmented, d *KeywordDir, t int, dec *decCounters) (*rrset.Batch, error) {
 	if idx.dec == nil {
-		return idx.decodeSets(r, d, t, true)
+		return idx.decodeSets(ctx, r, d, t, true)
 	}
+	// The loader runs under singleflight: concurrent queries share one
+	// load, so it must not die with the query that happened to lead it — a
+	// canceled leader would poison every live waiter with ITS ctx error.
+	// Detach cancellation for the load (the result lands in the shared
+	// cache either way); the canceled query still stops at its next
+	// keyword-load boundary.
+	lctx := context.WithoutCancel(ctx)
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionSets, Topic: int32(d.TopicID), Aux: int64(t)},
 		func() (any, int64, error) {
-			b, err := idx.decodeSets(r, d, t, false)
+			b, err := idx.decodeSets(lctx, r, d, t, false)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -549,8 +681,8 @@ func (idx *Index) setsPrefix(r diskio.Segmented, d *KeywordDir, t int, dec *decC
 // batch. A pooled batch borrows its backing arrays from the scratch pools
 // (query-private use only — NEVER for a batch published to the decoded
 // cache, whose artifacts are shared and immutable).
-func (idx *Index) decodeSets(r diskio.Segmented, d *KeywordDir, t int, pooled bool) (*rrset.Batch, error) {
-	buf, err := r.ReadSegment(d.SetsOff, d.prefixBytes(int64(t)))
+func (idx *Index) decodeSets(ctx context.Context, r diskio.Segmented, d *KeywordDir, t int, pooled bool) (*rrset.Batch, error) {
+	buf, err := idx.artifact(ctx, r, UnitSets, d.TopicID, int64(t), d.SetsOff, d.prefixBytes(int64(t)))
 	if err != nil {
 		return nil, err
 	}
@@ -596,14 +728,14 @@ type invTable struct {
 // d's inverted region becomes private pool-backed (vertex, RR-ID) pairs
 // trimmed to IDs < t, which the merge phase folds into the query lists. The
 // caller returns both slices to the pools.
-func (idx *Index) decodeInvPairs(r diskio.Segmented, d *KeywordDir, t int) ([]uint32, []int32, error) {
+func (idx *Index) decodeInvPairs(ctx context.Context, r diskio.Segmented, d *KeywordDir, t int) ([]uint32, []int32, error) {
 	// Pair count is bounded by the region's entry count; half the compressed
 	// byte length is a workable capacity hint (IDs are ~2 varint bytes) and
 	// the pool's class fall-through absorbs the rest.
 	hint := int(d.InvLen / 2)
 	verts := pool.Uint32s(hint)[:0]
 	ids := pool.Int32s(hint)[:0]
-	err := idx.walkInv(r, d, func(v uint32, list []uint32) {
+	err := idx.walkInv(ctx, r, d, func(v uint32, list []uint32) {
 		for _, id := range list {
 			if id >= uint32(t) {
 				break
@@ -623,8 +755,8 @@ func (idx *Index) decodeInvPairs(r diskio.Segmented, d *KeywordDir, t int) ([]ui
 // walkInv fetches keyword d's whole inverted region (one sequential read)
 // and streams each (vertex, ascending RR-ID list) pair through fn; the list
 // aliases decode scratch and must not be retained.
-func (idx *Index) walkInv(r diskio.Segmented, d *KeywordDir, fn func(v uint32, ids []uint32)) error {
-	buf, err := r.ReadSegment(d.InvOff, d.InvLen)
+func (idx *Index) walkInv(ctx context.Context, r diskio.Segmented, d *KeywordDir, fn func(v uint32, ids []uint32)) error {
+	buf, err := idx.artifact(ctx, r, UnitInv, d.TopicID, 0, d.InvOff, d.InvLen)
 	if err != nil {
 		return err
 	}
@@ -654,11 +786,13 @@ func (idx *Index) walkInv(r diskio.Segmented, d *KeywordDir, fn func(v uint32, i
 // invTable returns keyword d's decoded inverted table from the decoded
 // cache. The artifact is decoded in full (untrimmed) because it is shared
 // by queries with different allocations.
-func (idx *Index) invTable(r diskio.Segmented, d *KeywordDir, dec *decCounters) (*invTable, error) {
+func (idx *Index) invTable(ctx context.Context, r diskio.Segmented, d *KeywordDir, dec *decCounters) (*invTable, error) {
+	// Detached ctx for the same singleflight-sharing reason as setsPrefix.
+	lctx := context.WithoutCancel(ctx)
 	v, hit, err := idx.dec.GetOrLoad(
 		objcache.Key{Region: regionInv, Topic: int32(d.TopicID)},
 		func() (any, int64, error) {
-			tbl, err := idx.decodeInv(r, d)
+			tbl, err := idx.decodeInv(lctx, r, d)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -682,12 +816,12 @@ func (idx *Index) invTable(r diskio.Segmented, d *KeywordDir, dec *decCounters) 
 // decodeInv fetches the whole inverted region of keyword d (one sequential
 // read) and decodes every list in full, for the shared cached artifact
 // (never pool-backed: cached values outlive the query).
-func (idx *Index) decodeInv(r diskio.Segmented, d *KeywordDir) (*invTable, error) {
+func (idx *Index) decodeInv(ctx context.Context, r diskio.Segmented, d *KeywordDir) (*invTable, error) {
 	tbl := &invTable{
 		verts: make([]uint32, 0, d.NumInvLists),
 		lists: make([][]int32, 0, d.NumInvLists),
 	}
-	err := idx.walkInv(r, d, func(v uint32, ids []uint32) {
+	err := idx.walkInv(ctx, r, d, func(v uint32, ids []uint32) {
 		list := make([]int32, len(ids))
 		for j, id := range ids {
 			list[j] = int32(id)

@@ -1,6 +1,7 @@
 package kbtim
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -185,8 +186,8 @@ func (s *Sharded) CacheStats() (rr, irr diskio.CacheStats) {
 func (s *Sharded) DecodedCacheStats() (rr, irr objcache.Stats) {
 	for _, e := range s.engines {
 		r, i := e.DecodedCacheStats()
-		rr = addDecodedStats(rr, r)
-		irr = addDecodedStats(irr, i)
+		rr = rr.Add(r)
+		irr = irr.Add(i)
 	}
 	return rr, irr
 }
@@ -213,16 +214,6 @@ func addCacheStats(a, b diskio.CacheStats) diskio.CacheStats {
 	return a
 }
 
-func addDecodedStats(a, b objcache.Stats) objcache.Stats {
-	a.Hits += b.Hits
-	a.Misses += b.Misses
-	a.Shared += b.Shared
-	a.Entries += b.Entries
-	a.BytesCached += b.BytesCached
-	a.BudgetBytes += b.BudgetBytes
-	return a
-}
-
 // involved returns the shards a query must touch, ascending. Replicate mode
 // rotates across replicas; hash/range modes return the distinct owners of
 // the query's topics.
@@ -235,15 +226,22 @@ func (s *Sharded) involved(topics []int) []int {
 
 // acquire takes one worker slot on every involved shard, in ascending shard
 // order (the total order makes concurrent multi-shard acquisition
-// deadlock-free), and returns the matching release. The waits are not
-// cancelable — engine query execution never is in this codebase — so
-// serving layers should keep their request-abandonment gate (the
-// cancelable global-pool wait in kbtim-serve) IN FRONT of Sharded, and
-// the wait here is bounded by the shards' own pool churn.
-func (s *Sharded) acquire(shards []int) func() {
-	for _, sh := range shards {
+// deadlock-free), and returns the matching release. The waits honor ctx: a
+// canceled query releases every slot it already took and returns ctx.Err()
+// instead of occupying a shard worker it no longer wants — the same
+// abandonment semantics as kbtim-serve's global-pool wait, one layer down.
+func (s *Sharded) acquire(ctx context.Context, shards []int) (func(), error) {
+	for i, sh := range shards {
 		if s.sems != nil {
-			s.sems[sh] <- struct{}{}
+			select {
+			case s.sems[sh] <- struct{}{}:
+			case <-ctx.Done():
+				for _, got := range shards[:i] {
+					s.inflight[got].Add(-1)
+					<-s.sems[got]
+				}
+				return nil, ctx.Err()
+			}
 		}
 		s.inflight[sh].Add(1)
 	}
@@ -254,29 +252,39 @@ func (s *Sharded) acquire(shards []int) func() {
 				<-s.sems[sh]
 			}
 		}
-	}
+	}, nil
 }
 
 // QueryRR answers q from the shards' RR indexes — fast path when one shard
 // owns every topic, exact scatter-gather merge otherwise. Results are
 // identical to a single-engine deployment over the full index.
 func (s *Sharded) QueryRR(q Query) (*Result, error) {
+	return s.QueryRRCtx(context.Background(), q)
+}
+
+// QueryRRCtx is QueryRR with cancellation, honored both while waiting for
+// per-shard worker slots and at every keyword-load boundary of the query
+// itself.
+func (s *Sharded) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 	tq := q.internal()
 	shards := s.involved(tq.Topics)
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("kbtim: query needs at least one keyword")
 	}
-	release := s.acquire(shards)
+	release, err := s.acquire(ctx, shards)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	if len(shards) == 1 {
-		return s.engines[shards[0]].QueryRR(q)
+		return s.engines[shards[0]].QueryRRCtx(ctx, q)
 	}
 	handles, done, err := s.pin(shards, (*Engine).acquireRR)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	r, err := rrindex.QueryMulti(func(w int) *rrindex.Index {
+	r, err := rrindex.QueryMultiCtx(ctx, func(w int) *rrindex.Index {
 		if h := handles[s.sm.Owner(w)]; h != nil {
 			return h.rr
 		}
@@ -287,6 +295,7 @@ func (s *Sharded) QueryRR(q Query) (*Result, error) {
 	}
 	return &Result{
 		Seeds:     r.Seeds,
+		Marginals: r.Marginals,
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
 		IO:        ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
@@ -297,22 +306,32 @@ func (s *Sharded) QueryRR(q Query) (*Result, error) {
 // QueryIRR answers q from the shards' IRR indexes; routing and parity
 // semantics match QueryRR's.
 func (s *Sharded) QueryIRR(q Query) (*Result, error) {
+	return s.QueryIRRCtx(context.Background(), q)
+}
+
+// QueryIRRCtx is QueryIRR with cancellation, honored both while waiting for
+// per-shard worker slots and at every keyword-load and NRA partition-round
+// boundary of the query itself.
+func (s *Sharded) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
 	tq := q.internal()
 	shards := s.involved(tq.Topics)
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("kbtim: query needs at least one keyword")
 	}
-	release := s.acquire(shards)
+	release, err := s.acquire(ctx, shards)
+	if err != nil {
+		return nil, err
+	}
 	defer release()
 	if len(shards) == 1 {
-		return s.engines[shards[0]].QueryIRR(q)
+		return s.engines[shards[0]].QueryIRRCtx(ctx, q)
 	}
 	handles, done, err := s.pin(shards, (*Engine).acquireIRR)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	r, err := irrindex.QueryMulti(func(w int) *irrindex.Index {
+	r, err := irrindex.QueryMultiCtx(ctx, func(w int) *irrindex.Index {
 		if h := handles[s.sm.Owner(w)]; h != nil {
 			return h.irr
 		}
@@ -323,6 +342,7 @@ func (s *Sharded) QueryIRR(q Query) (*Result, error) {
 	}
 	return &Result{
 		Seeds:            r.Seeds,
+		Marginals:        r.Marginals,
 		EstSpread:        r.EstSpread,
 		NumRRSets:        r.NumRRSets,
 		IO:               ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
@@ -351,6 +371,18 @@ func (s *Sharded) pin(shards []int, acquire func(*Engine) (*indexHandle, error))
 		handles[sh] = h
 	}
 	return handles, release, nil
+}
+
+// ArtifactBytes implements the cross-node artifact-serving interface
+// (remote.Source) so a sharded box still mounts /internal/artifact — and
+// answers every request with a diagnosis instead of a bare route 404. A
+// fan-out router expects SINGLE-ENGINE backends (node i serving shard i's
+// "<index>.s<i>" file): a multi-shard box holds several disjoint keyword
+// directories and has no one prelude to serve, so an operator who points
+// -router at it gets this message rather than a misleading "serves no RR
+// or IRR index".
+func (s *Sharded) ArtifactBytes(kind, unit string, topic int, aux int64) ([]byte, int64, error) {
+	return nil, 0, fmt.Errorf("kbtim: cross-node artifact serving needs single-engine backends (run one kbtim-serve per shard file, -shards 1); this node runs %d engine shards behind one process", len(s.engines))
 }
 
 // BuildShardIndexes builds per-shard index files for a sharded deployment:
@@ -406,6 +438,84 @@ func (e *Engine) BuildShardIndexes(kind string, shards int, mode ShardMode, path
 // unsuffixed file to every shard instead).
 func ShardIndexPath(path string, shard int) string {
 	return fmt.Sprintf("%s.s%d", path, shard)
+}
+
+// OpenShardedIndexes assembles a ready-to-query Sharded deployment over
+// per-shard index files: N engines are created over ds with opts (the
+// caller splits any global cache budgets per shard beforehand), and shard i
+// opens "<path>.s<i>" for each non-empty rrPath/irrPath — the files
+// kbtim-build -shards writes — while replicate mode opens the one full
+// index at the unsuffixed path on every shard. Shards whose keyword
+// partition is empty (possible when hashing a tiny universe) are left
+// indexless and are never routed to.
+//
+// The open is all-or-nothing: any failure closes every engine already
+// created — including the ones that had opened their files — so a partial
+// failure leaks no file handles, and the error names the shard (with the
+// kbtim-build invocation that produces a missing file).
+func OpenShardedIndexes(ds *Dataset, opts Options, rrPath, irrPath string, shards int, mode ShardMode, perShardWorkers int) (*Sharded, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("kbtim: shard count must be >= 1, got %d", shards)
+	}
+	if rrPath == "" && irrPath == "" {
+		return nil, fmt.Errorf("kbtim: sharded open needs an RR and/or IRR index path")
+	}
+	engines := make([]*Engine, 0, shards)
+	fail := func(err error) (*Sharded, error) {
+		for _, e := range engines {
+			e.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < shards; i++ {
+		eng, err := NewEngine(ds, opts)
+		if err != nil {
+			return fail(err)
+		}
+		engines = append(engines, eng)
+	}
+	topicsBy, err := engines[0].ShardTopics(shards, mode)
+	if err != nil {
+		return fail(err)
+	}
+	pathFor := func(path string, shard int) string {
+		if mode == ShardReplicate {
+			return path
+		}
+		return ShardIndexPath(path, shard)
+	}
+	for i, eng := range engines {
+		if len(topicsBy[i]) == 0 {
+			continue
+		}
+		if rrPath != "" {
+			p := pathFor(rrPath, i)
+			if err := eng.OpenRRIndex(p); err != nil {
+				return fail(shardOpenErr(p, i, shards, mode, err))
+			}
+		}
+		if irrPath != "" {
+			p := pathFor(irrPath, i)
+			if err := eng.OpenIRRIndex(p); err != nil {
+				return fail(shardOpenErr(p, i, shards, mode, err))
+			}
+		}
+	}
+	s, err := NewSharded(engines, mode, perShardWorkers)
+	if err != nil {
+		return fail(err)
+	}
+	return s, nil
+}
+
+// shardOpenErr decorates a per-shard open failure with the likely fix when
+// the file simply is not there.
+func shardOpenErr(path string, shard, shards int, mode ShardMode, err error) error {
+	if os.IsNotExist(err) && mode != ShardReplicate {
+		return fmt.Errorf("kbtim: shard %d index %s missing (build per-shard files with kbtim-build -shards %d -shard-mode %s): %w",
+			shard, path, shards, mode, err)
+	}
+	return fmt.Errorf("kbtim: shard %d: %w", shard, err)
 }
 
 // ShardTopics returns the keyword partition a sharded build/serve pair
