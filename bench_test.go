@@ -46,13 +46,13 @@ func runExperiment(b *testing.B, id string, exp bench.Experiment) {
 	b.Helper()
 	env := sharedEnv(b)
 	if _, dup := printedOnce.LoadOrStore(id, struct{}{}); !dup {
-		if err := exp(os.Stdout, env); err != nil {
+		if err := exp(b.Context(), os.Stdout, env); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := exp(io.Discard, env); err != nil {
+		if err := exp(b.Context(), io.Discard, env); err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}
 	}

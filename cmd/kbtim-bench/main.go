@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"kbtim/internal/bench"
@@ -41,9 +44,14 @@ func main() {
 	}
 	defer env.Close()
 
+	// A long sweep should die promptly on ^C / SIGTERM: the ctx reaches
+	// every experiment and cancels in-flight queries and remote fetches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := func(id string, desc string, f bench.Experiment) {
 		start := time.Now()
-		if err := f(os.Stdout, env); err != nil {
+		if err := f(ctx, os.Stdout, env); err != nil {
 			log.Fatalf("kbtim-bench: %s: %v", id, err)
 		}
 		fmt.Printf("[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))

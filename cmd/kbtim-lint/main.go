@@ -1,0 +1,70 @@
+// Command kbtim-lint runs the kbtim analyzer suite (handlepin,
+// poolpair, ctxflow, cacheimmutable — see internal/analysis) over the
+// module and exits non-zero when any unsuppressed finding remains. CI
+// runs `go run ./cmd/kbtim-lint ./...` on every change, so the
+// invariants the analyzers encode are gates, not conventions.
+//
+// Usage:
+//
+//	kbtim-lint [-C dir] [-only name,name] [packages]
+//
+// Packages default to ./... relative to the module directory.
+// Intentional exceptions are suppressed in source with
+// //kbtim:allow <analyzer> <reason> on or directly above the line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kbtim/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module directory to lint")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: kbtim-lint [-C dir] [-only name,name] [packages]\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-15s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "kbtim-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	prog, err := analysis.Load(*dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kbtim-lint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(prog, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kbtim-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "kbtim-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

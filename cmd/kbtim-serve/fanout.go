@@ -70,6 +70,10 @@ type fanout struct {
 	proxCnt   atomic.Int64
 	scatCnt   atomic.Int64
 	healthTTL time.Duration
+	// proxyTimeout bounds every router→backend query call — the startup
+	// opens and each proxied /query POST — on top of whatever deadline the
+	// client request already carries (-proxy-timeout).
+	proxyTimeout time.Duration
 }
 
 // normalizeBackendURL accepts "host:port" or a full URL and returns a
@@ -104,9 +108,12 @@ func splitBackends(flag string) []string {
 // Every backend must serve the same index kinds, and their headers must
 // describe the same dataset (spanning queries re-verify |V|/|T|/K at query
 // time; topic-space agreement is what the shard map needs up front).
-func openFanout(urls []string, mode kbtim.ShardMode, decBudget int64, cacheShards, queryPar int) (*fanout, error) {
+func openFanout(urls []string, mode kbtim.ShardMode, decBudget int64, cacheShards, queryPar int, proxyTimeout time.Duration) (*fanout, error) {
 	if len(urls) == 0 {
 		return nil, errors.New("router mode needs -backends (comma-separated base URLs)")
+	}
+	if proxyTimeout <= 0 {
+		return nil, fmt.Errorf("-proxy-timeout must be positive, got %v", proxyTimeout)
 	}
 	m := shardmap.Hash
 	if mode != "" {
@@ -115,12 +122,13 @@ func openFanout(urls []string, mode kbtim.ShardMode, decBudget int64, cacheShard
 			return nil, err
 		}
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), proxyTimeout)
 	defer cancel()
 	f := &fanout{
-		mode:      mode,
-		hc:        &http.Client{}, // per-request contexts bound proxy calls
-		healthTTL: 2 * time.Second,
+		mode:         mode,
+		hc:           &http.Client{}, // per-request contexts bound proxy calls
+		healthTTL:    2 * time.Second,
+		proxyTimeout: proxyTimeout,
 	}
 	numTopics := 0
 	for i, u := range urls {
@@ -191,6 +199,8 @@ func (f *fanout) involved(topics []int) []int {
 // back into a Result — the co-located fast path: one round trip, the owning
 // node pays the compute, results identical by construction.
 func (f *fanout) proxy(ctx context.Context, node int, q kbtim.Query, strategy string) (*kbtim.Result, error) {
+	ctx, cancel := context.WithTimeout(ctx, f.proxyTimeout)
+	defer cancel()
 	n := f.nodes[node]
 	body, err := json.Marshal(queryRequest{Topics: q.Topics, K: q.K, Strategy: strategy})
 	if err != nil {
@@ -450,10 +460,11 @@ func (f *fanout) CheckHealth(ctx context.Context) error {
 // answer in time appears unhealthy with null stats).
 func (f *fanout) RouterStats(ctx context.Context) *routerStatsJSON {
 	out := &routerStatsJSON{
-		Mode:      string(f.mode),
-		Proxied:   f.proxCnt.Load(),
-		Scattered: f.scatCnt.Load(),
-		Backends:  make([]routerBackendJSON, len(f.nodes)),
+		Mode:            string(f.mode),
+		ProxyTimeoutSec: f.proxyTimeout.Seconds(),
+		Proxied:         f.proxCnt.Load(),
+		Scattered:       f.scatCnt.Load(),
+		Backends:        make([]routerBackendJSON, len(f.nodes)),
 	}
 	var wg sync.WaitGroup
 	for i, n := range f.nodes {

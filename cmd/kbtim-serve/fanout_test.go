@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"testing"
+	"time"
 
 	"kbtim"
 )
@@ -60,7 +61,7 @@ func startRouterCluster(t *testing.T) *routerCluster {
 		c.nodes = append(c.nodes, node)
 		urls = append(urls, node.URL)
 	}
-	c.fo, err = openFanout(urls, kbtim.ShardHash, 1<<20, 0, 2)
+	c.fo, err = openFanout(urls, kbtim.ShardHash, 1<<20, 0, 2, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,6 +160,9 @@ func TestRouterStatsAndHealth(t *testing.T) {
 	}
 	if stats.Router.Proxied+stats.Router.Scattered == 0 {
 		t.Fatal("router counted no traffic")
+	}
+	if got := stats.Router.ProxyTimeoutSec; got != 30 {
+		t.Fatalf("proxy_timeout_sec = %v, want the configured 30", got)
 	}
 
 	if resp, err = http.Get(c.router.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {

@@ -95,6 +95,7 @@ func run(args []string) error {
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 		routerMode  = fs.Bool("router", false, "run as a cross-node fan-out router over -backends (no local indexes)")
 		backends    = fs.String("backends", "", "comma-separated backend base URLs; backend i owns shard i's keywords (router mode)")
+		proxyTO     = fs.Duration("proxy-timeout", 30*time.Second, "per-call deadline for router→backend opens and proxied queries (router mode)")
 		model       = fs.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = fs.Int("K", 100, "system cap on Q.k")
@@ -145,7 +146,7 @@ func run(args []string) error {
 	var be backend
 	if *routerMode {
 		urls := splitBackends(*backends)
-		fo, err := openFanout(urls, kbtim.ShardMode(*shardMode), (int64(*decodedMB)<<20)/int64(max(len(urls), 1)), *cacheShards, *queryPar)
+		fo, err := openFanout(urls, kbtim.ShardMode(*shardMode), (int64(*decodedMB)<<20)/int64(max(len(urls), 1)), *cacheShards, *queryPar, *proxyTO)
 		if err != nil {
 			return err
 		}

@@ -208,10 +208,14 @@ type routerBackendJSON struct {
 // each downstream node's own counters, so one scrape sees the whole
 // deployment.
 type routerStatsJSON struct {
-	Mode      string              `json:"mode"`
-	Proxied   int64               `json:"proxied"`
-	Scattered int64               `json:"scattered"`
-	Backends  []routerBackendJSON `json:"backends"`
+	Mode string `json:"mode"`
+	// ProxyTimeoutSec is the configured -proxy-timeout bound on every
+	// router→backend query call, surfaced so a scrape can tell how long a
+	// slow backend is allowed to stall the router.
+	ProxyTimeoutSec float64             `json:"proxy_timeout_sec"`
+	Proxied         int64               `json:"proxied"`
+	Scattered       int64               `json:"scattered"`
+	Backends        []routerBackendJSON `json:"backends"`
 }
 
 // statsResponse is the GET /stats reply. The cache sections aggregate over

@@ -599,6 +599,7 @@ func ioStats(s diskio.Stats, decHits, decMisses int64) IOStats {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryRR(q Query) (*Result, error) {
+	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return e.QueryRRCtx(context.Background(), q)
 }
 
@@ -630,6 +631,7 @@ func (e *Engine) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryIRR(q Query) (*Result, error) {
+	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return e.QueryIRRCtx(context.Background(), q)
 }
 

@@ -1,0 +1,100 @@
+// Package analysistest runs one analyzer over a golden testdata package
+// and compares its findings against // want "regexp" comments, the same
+// contract as golang.org/x/tools/go/analysis/analysistest (which the
+// module cannot depend on). Each line carrying a finding must have a
+// matching want, and each want must be matched by a finding on its
+// line; //kbtim:allow suppressions are applied before matching, so a
+// seeded-but-suppressed violation is asserted by the absence of a want.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kbtim/internal/analysis"
+)
+
+// wantRe matches one expectation inside a // want comment. Several may
+// appear on one line: // want "first" "second".
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one // want entry pinned to a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads dir as a standalone package (resolving kbtim imports
+// against moduleDir), applies a, and diffs findings against the // want
+// comments in dir's sources.
+func Run(t *testing.T, moduleDir, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	importPath := "kbtim/lintdata/" + filepath.Base(dir)
+	prog, err := analysis.LoadDir(moduleDir, dir, importPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	diags, err := analysis.Run(prog, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants, err := collectWants(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.Position.Filename), d.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding: %s", key, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no finding matched want %q", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants scans every .go file in dir for // want comments.
+func collectWants(dir string) (map[string][]*expectation, error) {
+	wants := make(map[string][]*expectation)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, comment, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", filepath.Base(name), i+1)
+			for _, m := range wantRe.FindAllStringSubmatch(comment, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want pattern %q: %v", key, m[1], err)
+				}
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+	}
+	return wants, nil
+}

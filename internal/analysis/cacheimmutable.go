@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Cacheimmutable turns the "cached values are immutable" convention
+// from the decoded-cache work into a checked property. Artifact types
+// whose declarations carry a //kbtim:cached marker (rrset.Batch,
+// rrindex's inverted table, irrindex's partition block — the things
+// internal/objcache hands out to concurrent readers) may only be
+// field- or element-written by (a) the function that constructed the
+// value — detected as the value being assigned from a composite
+// literal or new() in the same function — or (b) the type's own
+// methods, which are its construction and recycling surface. Any other
+// write is a data race waiting for a cache hit to expose it.
+var Cacheimmutable = &Analyzer{
+	Name: "cacheimmutable",
+	Doc:  "flag post-construction writes to //kbtim:cached artifact types outside their constructors",
+	Run:  runCacheimmutable,
+}
+
+func runCacheimmutable(pass *Pass) error {
+	if len(pass.Markers) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || receiverIsMarked(pass, fd) {
+				continue
+			}
+			checkWrites(pass, fd)
+		}
+	}
+	return nil
+}
+
+// receiverIsMarked reports whether fd is a method of a marked type.
+func receiverIsMarked(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	return ok && markedName(pass, tv.Type) != ""
+}
+
+// constructedLocals collects objects bound to freshly-constructed
+// marked-type values anywhere in fd (closures included — a worker
+// closure building an artifact is still its constructor): x := &T{...},
+// x := T{...}, x := new(T), and the var-declaration forms.
+func constructedLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	info := pass.TypesInfo
+	locals := make(map[types.Object]bool)
+	bind := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if !isFreshMarkedValue(pass, rhs) {
+			return
+		}
+		if obj := identObj(info, id); obj != nil {
+			locals[obj] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Values {
+					bind(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// isFreshMarkedValue reports whether e constructs a new marked-type
+// value: &T{...}, T{...}, or new(T).
+func isFreshMarkedValue(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return isFreshMarkedValue(pass, e.X)
+		}
+	case *ast.CompositeLit:
+		if tv, ok := pass.TypesInfo.Types[e]; ok {
+			return markedName(pass, tv.Type) != ""
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+			if tv, ok := pass.TypesInfo.Types[e]; ok {
+				return markedName(pass, tv.Type) != ""
+			}
+		}
+	}
+	return false
+}
+
+// checkWrites flags field/element writes through marked-type values
+// that did not originate from a constructor in this function.
+func checkWrites(pass *Pass, fd *ast.FuncDecl) {
+	locals := constructedLocals(pass, fd)
+	flag := func(lhs ast.Expr) {
+		name, root := markedWriteTarget(pass, lhs)
+		if name == "" {
+			return
+		}
+		if id, ok := root.(*ast.Ident); ok {
+			if obj := identObj(pass.TypesInfo, id); obj != nil && locals[obj] {
+				return // writing to a value this function constructed
+			}
+		}
+		pass.Reportf(lhs.Pos(), "write to %s (%s) outside its constructor: cached artifacts are immutable once published",
+			name, types.ExprString(lhs))
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				flag(l)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// markedWriteTarget walks the lvalue chain of lhs (x.f, x.f[i], *p)
+// looking for a base of marked type; it returns the marked type's
+// qualified name and the root expression the value flowed from.
+func markedWriteTarget(pass *Pass, lhs ast.Expr) (string, ast.Expr) {
+	cur := lhs
+	for {
+		var base ast.Expr
+		switch x := cur.(type) {
+		case *ast.SelectorExpr:
+			base = x.X
+		case *ast.IndexExpr:
+			base = x.X
+		case *ast.StarExpr:
+			base = x.X
+		case *ast.ParenExpr:
+			base = x.X
+		default:
+			return "", nil
+		}
+		if tv, ok := pass.TypesInfo.Types[base]; ok {
+			if name := markedName(pass, tv.Type); name != "" {
+				return name, rootExpr(base)
+			}
+		}
+		cur = base
+	}
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow checks context discipline on the query path. Inside the
+// scoped packages (the root engine package plus rrindex, irrindex, and
+// coverage — the packages a request traverses) it bans
+// context.Background() and context.TODO(): a fresh root context there
+// detaches the work from the caller's deadline and cancellation, which
+// is exactly the bug class PR 5's cross-node cancellation work existed
+// to kill. The non-Ctx compatibility wrappers (Engine.QueryRR and
+// friends) are the intentional exceptions and carry //kbtim:allow
+// comments. Independent of package scope, any function holding a
+// context that calls a sibling when a ...Ctx variant of that sibling
+// exists is flagged for dropping its ctx on the floor.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ban context.Background/TODO on the query path; require ctx holders to use ...Ctx variants",
+	Run:  runCtxflow,
+}
+
+// CtxflowScope lists the import paths the Background/TODO ban applies
+// to. It is a variable so golden tests can scope their testdata
+// packages in.
+var CtxflowScope = map[string]bool{
+	"kbtim":                   true,
+	"kbtim/internal/rrindex":  true,
+	"kbtim/internal/irrindex": true,
+	"kbtim/internal/coverage": true,
+}
+
+func runCtxflow(pass *Pass) error {
+	inScope := CtxflowScope[pass.Pkg.Path()]
+	for _, f := range pass.Files {
+		if inScope {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := contextRootCall(pass.TypesInfo, call); name != "" {
+					pass.Reportf(call.Pos(), "context.%s() on the query path; thread the caller's ctx instead", name)
+				}
+				return true
+			})
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(pass.TypesInfo, fd) {
+				continue
+			}
+			checkDroppedCtx(pass, fd)
+		}
+	}
+	return nil
+}
+
+// contextRootCall returns "Background" or "TODO" when call is
+// context.Background() or context.TODO(), else "".
+func contextRootCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDroppedCtx flags calls inside fd (a function holding a ctx,
+// closures included — they capture it) to callees that take no context
+// when a ...Ctx sibling taking one exists.
+func checkDroppedCtx(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if name == "" || strings.HasSuffix(name, "Ctx") {
+			return true
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil || takesContext(callee) {
+			return true
+		}
+		if sibling := ctxSibling(pass, call, callee); sibling != nil {
+			pass.Reportf(call.Pos(), "call to %s drops the ctx in scope; use %s", name, sibling.Name())
+		}
+		return true
+	})
+}
+
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+func takesContext(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling finds a <name>Ctx variant of callee that takes a context:
+// a method on the same receiver type for method calls, or a same-scope
+// function otherwise.
+func ctxSibling(pass *Pass, call *ast.CallExpr, callee *types.Func) *types.Func {
+	want := callee.Name() + "Ctx"
+	sig := callee.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, pass.Pkg, want)
+		if f, ok := obj.(*types.Func); ok && takesContext(f) {
+			return f
+		}
+		return nil
+	}
+	if callee.Pkg() == nil {
+		return nil
+	}
+	if f, ok := callee.Pkg().Scope().Lookup(want).(*types.Func); ok && takesContext(f) {
+		return f
+	}
+	return nil
+}

@@ -1,0 +1,441 @@
+package analysis
+
+// This file implements the path-sensitive "settled on every path" check
+// shared by handlepin and poolpair. It is a deliberately small CFG-lite:
+// instead of building a control-flow graph it walks statement lists
+// recursively, maintaining a single liveness flag for one tracked
+// resource, and reports any function exit reachable while the resource
+// is still live. The approximations all lean toward silence (an
+// aliased, overwritten, or structurally-transferred resource simply
+// stops being tracked) so the checker can gate CI without drowning the
+// tree in false positives; the invariants it *does* enforce — release
+// before every return, release before falling off the function, release
+// before the next loop iteration — are exactly the ones whose violation
+// leaks a refcount or a pooled slice.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A tracked resource is one acquisition (an index handle, a cleanup
+// func, or a pooled slice) that must be settled — released, deferred,
+// or ownership-transferred — on every path out of its function.
+type tracked struct {
+	pos     token.Pos    // acquisition site, where diagnostics anchor
+	what    string       // diagnostic noun, e.g. "handle from acquireRR"
+	obj     types.Object // object of the tracked ident (nil when field-tracked)
+	baseObj types.Object // object of the base ident for field-tracked resources
+	exprStr string       // canonical text of the tracked expr ("h", "rel", "blk.arena")
+	errObj  types.Object // error result assigned alongside the acquisition, or nil
+
+	// isRelease reports whether a call settles the resource.
+	isRelease func(call *ast.CallExpr) bool
+}
+
+// mentions reports whether n references the tracked object (or, for
+// field-tracked resources, the base object — returning or storing the
+// whole struct transfers its pooled fields with it).
+func (tr *tracked) mentions(info *types.Info, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		id, ok := x.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := info.Uses[id]
+		if o == nil {
+			o = info.Defs[id]
+		}
+		if o != nil && (o == tr.obj || (tr.baseObj != nil && o == tr.baseObj)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// releasedIn reports whether any call inside n (including calls in
+// nested function literals, which covers deferred closures and
+// goroutine hand-offs) settles the resource.
+func (tr *tracked) releasedIn(n ast.Node) bool {
+	rel := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if c, ok := x.(*ast.CallExpr); ok && tr.isRelease(c) {
+			rel = true
+			return false
+		}
+		return true
+	})
+	return rel
+}
+
+// errGuard classifies an if statement against the acquisition's error
+// result. kind is guardNone for unrelated conditions, guardErr for
+// `if err != nil` (the acquire failed, so no resource exists — the body
+// is exempt), guardOK for `if err == nil` (the resource only exists
+// inside the body).
+type guardKind int
+
+const (
+	guardNone guardKind = iota
+	guardErr
+	guardOK
+)
+
+func (tr *tracked) errGuard(info *types.Info, s *ast.IfStmt) guardKind {
+	if tr.errObj == nil || s.Init != nil {
+		return guardNone
+	}
+	b, ok := s.Cond.(*ast.BinaryExpr)
+	if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+		return guardNone
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == tr.errObj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (matches(b.X) && isNil(b.Y)) || (matches(b.Y) && isNil(b.X)) {
+		if b.Op == token.NEQ {
+			return guardErr
+		}
+		return guardOK
+	}
+	return guardNone
+}
+
+// scanResult summarizes one statement list entered with the resource
+// live. violPos is the first function exit reachable with the resource
+// still live (NoPos if none); live reports whether control can reach
+// the end of the list with the resource still unsettled.
+type scanResult struct {
+	violPos token.Pos
+	live    bool
+}
+
+// isTerminator reports calls that never return: panic, os.Exit,
+// log.Fatal*, runtime.Goexit, testing fatals.
+func isTerminator(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// scanList walks one statement list with the resource live on entry.
+func (tr *tracked) scanList(info *types.Info, list []ast.Stmt) scanResult {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.DeferStmt:
+			if tr.isRelease(s.Call) {
+				return scanResult{}
+			}
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && tr.releasedIn(lit.Body) {
+				return scanResult{}
+			}
+
+		case *ast.GoStmt:
+			// A goroutine that releases the resource owns it from here;
+			// the synchronization is the author's problem, not ours.
+			if tr.releasedIn(s.Call) {
+				return scanResult{}
+			}
+
+		case *ast.ExprStmt:
+			if tr.releasedIn(s) {
+				return scanResult{}
+			}
+			if c, ok := s.X.(*ast.CallExpr); ok && isTerminator(c) {
+				return scanResult{}
+			}
+
+		case *ast.AssignStmt:
+			if tr.releasedIn(s) {
+				return scanResult{}
+			}
+			if done := tr.scanAssign(info, s); done {
+				return scanResult{}
+			}
+
+		case *ast.ReturnStmt:
+			if tr.mentions(info, s) {
+				// Returning the resource (or its containing struct)
+				// transfers ownership to the caller.
+				return scanResult{}
+			}
+			return scanResult{violPos: s.Pos()}
+
+		case *ast.BranchStmt:
+			// break/continue/goto: leaves this list with the resource
+			// live; the enclosing construct decides what that means.
+			return scanResult{live: true}
+
+		case *ast.IfStmt:
+			switch tr.errGuard(info, s) {
+			case guardErr:
+				continue // acquire failed inside: no resource to settle
+			case guardOK:
+				res := tr.scanList(info, bodyList(s.Body))
+				if res.violPos.IsValid() {
+					return res
+				}
+				// On the implicit else path the acquire failed, so the
+				// resource is live afterwards only if the success body
+				// fell through with it live.
+				if !res.live {
+					return scanResult{}
+				}
+				continue
+			}
+			body := tr.scanList(info, bodyList(s.Body))
+			if body.violPos.IsValid() {
+				return body
+			}
+			elseLive := true // missing else falls through live
+			if s.Else != nil {
+				res := tr.scanList(info, []ast.Stmt{s.Else})
+				if res.violPos.IsValid() {
+					return res
+				}
+				elseLive = res.live
+			}
+			if !body.live && !elseLive {
+				return scanResult{}
+			}
+
+		case *ast.BlockStmt:
+			res := tr.scanList(info, s.List)
+			if res.violPos.IsValid() || !res.live {
+				return res
+			}
+
+		case *ast.LabeledStmt:
+			res := tr.scanList(info, []ast.Stmt{s.Stmt})
+			if res.violPos.IsValid() || !res.live {
+				return res
+			}
+
+		case *ast.ForStmt:
+			if res := tr.scanList(info, bodyList(s.Body)); res.violPos.IsValid() {
+				return res
+			}
+			// The loop may run zero times, so the resource stays live.
+
+		case *ast.RangeStmt:
+			if res := tr.scanList(info, bodyList(s.Body)); res.violPos.IsValid() {
+				return res
+			}
+
+		case *ast.SwitchStmt:
+			if res := tr.scanClauses(info, s.Body, hasDefault(s.Body)); res.violPos.IsValid() || !res.live {
+				return res
+			}
+
+		case *ast.TypeSwitchStmt:
+			if res := tr.scanClauses(info, s.Body, hasDefault(s.Body)); res.violPos.IsValid() || !res.live {
+				return res
+			}
+
+		case *ast.SelectStmt:
+			// Exactly one case runs, so liveness is the OR of the cases.
+			if res := tr.scanClauses(info, s.Body, true); res.violPos.IsValid() || !res.live {
+				return res
+			}
+		}
+	}
+	return scanResult{live: true}
+}
+
+// scanAssign handles assignments that alias, overwrite, or structurally
+// transfer the tracked resource. Returns true when the resource is
+// settled (or tracking must stop) at this statement.
+func (tr *tracked) scanAssign(info *types.Info, s *ast.AssignStmt) bool {
+	// Only an exact rebinding of the tracked lvalue affects tracking; a
+	// write to a sibling field of the same base (b.off = ... while
+	// tracking b.flat) is an ordinary statement.
+	lhsHasTracked := false
+	for _, l := range s.Lhs {
+		if types.ExprString(l) == tr.exprStr {
+			lhsHasTracked = true
+		} else if id, ok := l.(*ast.Ident); ok && tr.obj != nil && identObj(info, id) == tr.obj {
+			lhsHasTracked = true
+		}
+	}
+	rhsHasTracked := false
+	for _, r := range s.Rhs {
+		if tr.mentions(info, r) {
+			rhsHasTracked = true
+		}
+	}
+	if lhsHasTracked {
+		// x = append(x, ...) keeps the same resource; x = other loses it
+		// (stop tracking rather than guess).
+		return !rhsHasTracked
+	}
+	if rhsHasTracked {
+		for _, l := range s.Lhs {
+			switch l.(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				// Stored into a struct, map, slice, or pointee: ownership
+				// moved to the container. (poolpair separately flags
+				// stores into cached artifacts — see checkEscapes.)
+				return true
+			}
+		}
+		// Aliased to another variable: stop tracking.
+		return true
+	}
+	return false
+}
+
+// scanClauses scans each case body of a switch/select.
+func (tr *tracked) scanClauses(info *types.Info, body *ast.BlockStmt, exhaustive bool) scanResult {
+	anyLive := !exhaustive // a missing default falls through live
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		res := tr.scanList(info, stmts)
+		if res.violPos.IsValid() {
+			return res
+		}
+		if res.live {
+			anyLive = true
+		}
+	}
+	return scanResult{live: anyLive}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func bodyList(b *ast.BlockStmt) []ast.Stmt {
+	if b == nil {
+		return nil
+	}
+	return b.List
+}
+
+// A listFrame is one enclosing statement list of an acquisition, from
+// the statement after it to the end of the list, plus the construct
+// that owns the list (nil for the function body itself).
+type listFrame struct {
+	list   []ast.Stmt
+	idx    int      // index of the acquisition (or of the enclosing stmt)
+	parent ast.Stmt // loop/if/switch owning this list, nil at function body
+}
+
+// enclosingFrames locates target inside body and returns the chain of
+// enclosing statement lists, innermost first. Function literals are not
+// descended into: each literal is its own analysis scope.
+func enclosingFrames(body *ast.BlockStmt, target ast.Stmt) []listFrame {
+	var find func(list []ast.Stmt, parent ast.Stmt) []listFrame
+	findIn := func(s ast.Stmt, parent ast.Stmt) []listFrame {
+		var sub [][]ast.Stmt
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			sub = append(sub, s.List)
+		case *ast.IfStmt:
+			sub = append(sub, bodyList(s.Body))
+			if s.Else != nil {
+				sub = append(sub, []ast.Stmt{s.Else})
+			}
+		case *ast.ForStmt:
+			sub = append(sub, bodyList(s.Body))
+		case *ast.RangeStmt:
+			sub = append(sub, bodyList(s.Body))
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					sub = append(sub, cc.Body)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					sub = append(sub, cc.Body)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					sub = append(sub, cc.Body)
+				}
+			}
+		case *ast.LabeledStmt:
+			sub = append(sub, []ast.Stmt{s.Stmt})
+		}
+		for _, list := range sub {
+			if frames := find(list, parent); frames != nil {
+				return frames
+			}
+		}
+		return nil
+	}
+	find = func(list []ast.Stmt, parent ast.Stmt) []listFrame {
+		for i, s := range list {
+			if s == target {
+				return []listFrame{{list: list, idx: i, parent: parent}}
+			}
+			if frames := findIn(s, s); frames != nil {
+				return append(frames, listFrame{list: list, idx: i, parent: parent})
+			}
+		}
+		return nil
+	}
+	return find(body.List, nil)
+}
+
+// checkSettled verifies the tracked resource is settled on every path
+// out of the scope body and reports violations on pass. It scans the
+// acquisition's own list first, then — if control can fall off the end
+// with the resource live — each enclosing list in turn, since on every
+// path that reaches those outer statements the resource exists.
+func checkSettled(pass *Pass, tr *tracked, body *ast.BlockStmt, at ast.Stmt) {
+	frames := enclosingFrames(body, at)
+	if frames == nil {
+		return // acquisition not found at statement level (defensive)
+	}
+	for _, fr := range frames {
+		res := tr.scanList(pass.TypesInfo, fr.list[fr.idx+1:])
+		if res.violPos.IsValid() {
+			pass.Reportf(tr.pos, "%s is not released on every path (leaks at %s)",
+				tr.what, pass.Fset.Position(res.violPos))
+			return
+		}
+		if !res.live {
+			return // settled before leaving this list
+		}
+		switch fr.parent.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Falling off the end of a loop iteration with the resource
+			// live loses it: the next iteration re-acquires.
+			pass.Reportf(tr.pos, "%s is not released before the end of the loop iteration", tr.what)
+			return
+		}
+	}
+	// Fell off the end of the function body with the resource live.
+	pass.Reportf(tr.pos, "%s is not released before the function returns", tr.what)
+}

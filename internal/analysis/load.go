@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path      string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// A Program is a loaded set of analysis targets plus everything shared
+// across them: the file set, and the //kbtim:cached type markers
+// harvested from every package parsed while resolving imports.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Markers  map[string]bool
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Standard   bool
+	GoFiles    []string
+}
+
+// goList runs `go list <args>` in dir and decodes the JSON stream.
+func goList(dir string, args ...string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var pkgs []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decode go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// loader type-checks module packages from source on demand. Standard
+// library imports are delegated to the stdlib source importer; imports
+// inside the module are parsed and checked recursively (the source
+// importer cannot resolve main-module paths), with results memoized so
+// every package is checked exactly once per Program.
+type loader struct {
+	fset    *token.FileSet
+	std     types.Importer
+	list    map[string]*listPkg // module (non-Standard) packages by import path
+	pkgs    map[string]*Package // memoized results
+	markers map[string]bool
+}
+
+func newLoader(fset *token.FileSet, universe []*listPkg) *loader {
+	l := &loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		list:    make(map[string]*listPkg),
+		pkgs:    make(map[string]*Package),
+		markers: make(map[string]bool),
+	}
+	for _, lp := range universe {
+		if !lp.Standard {
+			l.list[lp.ImportPath] = lp
+		}
+	}
+	return l
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if lp, ok := l.list[path]; ok {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// check parses and type-checks one module package (memoized).
+func (l *loader) check(lp *listPkg) (*Package, error) {
+	if p, ok := l.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.checkFiles(lp.ImportPath, lp.Dir, files)
+}
+
+// checkFiles type-checks an already-parsed file list as package path.
+func (l *loader) checkFiles(path, dir string, files []*ast.File) (*Package, error) {
+	harvestMarkers(files, path, l.markers)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// harvestMarkers records type declarations carrying a //kbtim:cached
+// comment (on the type spec or its enclosing decl) as "pkgpath.TypeName".
+func harvestMarkers(files []*ast.File, pkgPath string, out map[string]bool) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasMarker(gd.Doc) || hasMarker(ts.Doc) || hasMarker(ts.Comment) {
+					out[pkgPath+"."+ts.Name.Name] = true
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "kbtim:cached") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load enumerates patterns with the go tool (run in moduleDir) and
+// type-checks every matched module package plus, lazily, every module
+// package they import. Test files are excluded, matching what ships.
+func Load(moduleDir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, err := goList(moduleDir, append([]string{"-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	universe, err := goList(moduleDir, append([]string{"-deps", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := newLoader(fset, universe)
+	prog := &Program{Fset: fset, Markers: l.markers}
+	for _, lp := range targets {
+		if lp.Standard {
+			continue
+		}
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
+	return prog, nil
+}
+
+// LoadDir type-checks the .go files of one directory as a standalone
+// package named importPath, resolving module imports against moduleDir.
+// This is how analyzer golden tests load testdata packages, which are
+// invisible to go build (testdata is a reserved directory name) but can
+// still import real module packages such as kbtim/internal/pool.
+func LoadDir(moduleDir, dir, importPath string) (*Program, error) {
+	universe, err := goList(moduleDir, "-deps", "-json", "./...")
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := newLoader(fset, universe)
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var files []*ast.File
+	for _, name := range matches {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	p, err := l.checkFiles(importPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Fset: fset, Packages: []*Package{p}, Markers: l.markers}, nil
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// allowRe matches a suppression comment: //kbtim:allow <analyzer> <reason>.
+// The reason is mandatory — an allow without a why is itself a finding.
+var allowRe = regexp.MustCompile(`^//\s*kbtim:allow\s+([a-z][a-z0-9]*)\s*(.*)$`)
+
+// allowSite is one parsed //kbtim:allow comment.
+type allowSite struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// collectAllows parses every //kbtim:allow comment in the program.
+func collectAllows(prog *Program) []allowSite {
+	var sites []allowSite
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := allowRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					sites = append(sites, allowSite{
+						analyzer: m[1],
+						reason:   m[2],
+						file:     pos.Filename,
+						line:     pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return sites
+}
+
+// Run applies every analyzer to every package in prog, filters findings
+// through //kbtim:allow suppressions, and returns the survivors sorted
+// by position. A suppression covers diagnostics from the named analyzer
+// on the comment's own line or the line directly below it (i.e. the
+// comment sits on the offending line or immediately above it). Malformed
+// suppressions — a missing reason, or an analyzer name nothing reported
+// under — surface as diagnostics themselves so they cannot rot silently.
+func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Markers:   prog.Markers,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	known := make(map[string]bool)
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	type key struct {
+		analyzer string
+		file     string
+		line     int
+	}
+	allowed := make(map[key]bool)
+	var kept []Diagnostic
+	for _, s := range collectAllows(prog) {
+		if s.reason == "" {
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Position: token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  fmt.Sprintf("//kbtim:allow %s needs a reason", s.analyzer),
+			})
+			continue
+		}
+		if !known[s.analyzer] {
+			kept = append(kept, Diagnostic{
+				Analyzer: "allow",
+				Position: token.Position{Filename: s.file, Line: s.line, Column: 1},
+				Message:  fmt.Sprintf("//kbtim:allow names unknown analyzer %q", s.analyzer),
+			})
+			continue
+		}
+		allowed[key{s.analyzer, s.file, s.line}] = true
+		allowed[key{s.analyzer, s.file, s.line + 1}] = true
+	}
+	for _, d := range diags {
+		if allowed[key{d.Analyzer, d.Position.Filename, d.Position.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i].Position, kept[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}
+
+// funcScopes yields every function body in f as an independent analysis
+// scope: each FuncDecl body, and each FuncLit body nested anywhere
+// (closures own their acquisitions — a resource acquired inside a
+// closure must be settled inside it). decl is the enclosing FuncDecl,
+// nil for file-scope literals; it lets analyzers exempt methods by
+// receiver type.
+type funcScope struct {
+	decl *ast.FuncDecl // enclosing declaration (receiver info), may be nil
+	node ast.Node      // the *ast.FuncDecl or *ast.FuncLit itself
+	body *ast.BlockStmt
+}
+
+func funcScopes(f *ast.File) []funcScope {
+	var scopes []funcScope
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		scopes = append(scopes, funcScope{decl: fd, node: fd, body: fd.Body})
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				scopes = append(scopes, funcScope{decl: fd, node: lit, body: lit.Body})
+			}
+			return true
+		})
+	}
+	return scopes
+}

@@ -1,0 +1,63 @@
+// Package cacheimmutable is kbtim-lint golden testdata: writes to a
+// //kbtim:cached artifact type. The // want comments are the expected
+// findings; violations without a want carry a //kbtim:allow suppression
+// instead.
+package cacheimmutable
+
+// artifact stands in for a decoded-cache value (a parsed batch, an
+// inverted table, a partition block).
+//
+//kbtim:cached
+type artifact struct {
+	flat []uint32
+	n    int
+}
+
+// reset is a method of the type itself: the type's own methods are its
+// construction and recycling surface, so writes here are fine.
+func (a *artifact) reset() {
+	a.n = 0
+	a.flat = a.flat[:0]
+}
+
+// newArtifact constructs the value it writes to: fine.
+func newArtifact(n int) *artifact {
+	a := &artifact{}
+	a.flat = make([]uint32, n)
+	a.n = n
+	return a
+}
+
+// buildInWorker constructs inside a closure of the same function: the
+// function is still the constructor.
+func buildInWorker(n int) *artifact {
+	a := &artifact{}
+	fill := func() {
+		for i := 0; i < n; i++ {
+			a.flat = append(a.flat, uint32(i))
+			a.n++
+		}
+	}
+	fill()
+	return a
+}
+
+// mutate writes to an artifact somebody else constructed — the data
+// race a cache hit will eventually expose.
+func mutate(a *artifact) {
+	a.n++         // want "write to kbtim/lintdata/cacheimmutable.artifact"
+	a.flat[0] = 1 // want "write to kbtim/lintdata/cacheimmutable.artifact"
+}
+
+// mutateFetched writes to a value fetched from elsewhere.
+func mutateFetched(get func() *artifact) {
+	a := get()
+	a.n = 7 // want "write to kbtim/lintdata/cacheimmutable.artifact"
+}
+
+// recycle writes to a received instance that is provably private to the
+// caller; the suppression documents why it is safe.
+func recycle(a *artifact) {
+	//kbtim:allow cacheimmutable recycling a never-published scratch instance
+	a.n = 0
+}

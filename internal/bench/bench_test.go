@@ -56,7 +56,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	env := tinyEnv(t)
 	for _, e := range Experiments {
 		var buf bytes.Buffer
-		if err := e.Run(&buf, env); err != nil {
+		if err := e.Run(t.Context(), &buf, env); err != nil {
 			t.Fatalf("%s: %v", e.ID, err)
 		}
 		out := buf.String()
@@ -175,7 +175,7 @@ func BenchmarkThroughputSmoke(b *testing.B) {
 	}
 	defer env.Close()
 	for i := 0; i < b.N; i++ {
-		if err := Throughput(io.Discard, env); err != nil {
+		if err := Throughput(b.Context(), io.Discard, env); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -16,7 +17,7 @@ import (
 )
 
 // Experiment regenerates one paper artifact, writing the table/series to w.
-type Experiment func(w io.Writer, env *Env) error
+type Experiment func(ctx context.Context, w io.Writer, env *Env) error
 
 // Experiments maps experiment IDs to their runners, in paper order.
 var Experiments = []struct {
@@ -55,7 +56,7 @@ func Lookup(id string) (Experiment, bool) {
 
 // Table2 prints the dataset statistics of both families (the Table 2
 // analogue at 1:1000 scale).
-func Table2(w io.Writer, env *Env) error {
+func Table2(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 2: datasets (scaled ~1:1000 from the paper)",
 		"dataset", "#users", "#edges", "avg-degree", "#topics")
 	for _, f := range []Family{News, Twitter} {
@@ -78,7 +79,7 @@ func Table2(w io.Writer, env *Env) error {
 
 // Figure4 prints the log-bucketed in-degree distributions of the two
 // default graphs.
-func Figure4(w io.Writer, env *Env) error {
+func Figure4(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Figure 4: in-degree distributions (log10 buckets)",
 		"dataset", "bucket[1,10)", "[10,100)", "[100,1k)", "[1k,10k)", "max-deg", "plaw-slope")
 	for _, f := range []Family{News, Twitter} {
@@ -110,7 +111,7 @@ func table3Sizes(env *Env) []int {
 
 // Table3 compares index size and construction time under θ̂_w (Eqn 8)
 // versus θ_w (Eqn 10) on the news family.
-func Table3(w io.Writer, env *Env) error {
+func Table3(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 3: θ̂_w vs θ_w (news, RR and IRR indexes)",
 		"dataset", "RR-MB(θ̂)", "RR-MB(θ)", "IRR-MB(θ̂)", "IRR-MB(θ)",
 		"RR-s(θ̂)", "RR-s(θ)", "IRR-s(θ̂)", "IRR-s(θ)")
@@ -140,7 +141,7 @@ func Table3(w io.Writer, env *Env) error {
 }
 
 // Table4 compares compressed and uncompressed index footprints.
-func Table4(w io.Writer, env *Env) error {
+func Table4(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 4: disk size & build time, uncompressed vs compressed (θ_w)",
 		"dataset", "RR-MB(raw)", "IRR-MB(raw)", "RR-MB(comp)", "IRR-MB(comp)",
 		"RR-s(raw)", "IRR-s(raw)", "RR-s(comp)", "IRR-s(comp)")
@@ -176,7 +177,7 @@ func Table4(w io.Writer, env *Env) error {
 }
 
 // Table5 prints Σθ_w and mean RR-set size across the size sweeps.
-func Table5(w io.Writer, env *Env) error {
+func Table5(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 5: Σθ_w and mean RR-set size vs graph size",
 		"dataset", "sum θ_w", "mean RR size")
 	for _, f := range []Family{News, Twitter} {
@@ -204,7 +205,7 @@ type methodTiming struct {
 // runPoint measures RR, IRR, and WRIS on one (family, size, len, k) point.
 // wrisEvery limits the (expensive) WRIS runs to the first n queries;
 // 0 skips WRIS.
-func (e *Env) runPoint(f Family, size, length, k, wrisEvery int, evalSpread bool) (rr, irr, online methodTiming, err error) {
+func (e *Env) runPoint(ctx context.Context, f Family, size, length, k, wrisEvery int, evalSpread bool) (rr, irr, online methodTiming, err error) {
 	g, prof, err := e.Dataset(f, size)
 	if err != nil {
 		return rr, irr, online, err
@@ -225,7 +226,7 @@ func (e *Env) runPoint(f Family, size, length, k, wrisEvery int, evalSpread bool
 	evalRNG := rng.New(e.Cfg.Seed ^ 0xEA7)
 	nWRIS := 0
 	for i, q := range queries {
-		r1, qerr := rrIdx.Query(q)
+		r1, qerr := rrIdx.QueryCtx(ctx, q)
 		if qerr != nil {
 			return rr, irr, online, qerr
 		}
@@ -233,7 +234,7 @@ func (e *Env) runPoint(f Family, size, length, k, wrisEvery int, evalSpread bool
 		rr.loaded += float64(r1.NumRRSets)
 		rr.io += float64(r1.IO.Total())
 
-		r2, qerr := irrIdx.Query(q)
+		r2, qerr := irrIdx.QueryCtx(ctx, q)
 		if qerr != nil {
 			return rr, irr, online, qerr
 		}
@@ -280,12 +281,12 @@ func (e *Env) runPoint(f Family, size, length, k, wrisEvery int, evalSpread bool
 }
 
 // Figure5 sweeps Q.k at the default keyword count.
-func Figure5(w io.Writer, env *Env) error {
+func Figure5(ctx context.Context, w io.Writer, env *Env) error {
 	for _, f := range []Family{News, Twitter} {
 		t := newTable(fmt.Sprintf("Figure 5 (%s): vary Q.k, |Q.T|=%d", f, env.Cfg.DefaultLen),
 			"Q.k", "RR-ms", "IRR-ms", "WRIS-ms", "RR-sets", "IRR-sets", "WRIS-sets")
 		for _, k := range env.Cfg.KSweep {
-			rr, irr, online, err := env.runPoint(f, env.defaultSize(f), env.Cfg.DefaultLen, k, 1, false)
+			rr, irr, online, err := env.runPoint(ctx, f, env.defaultSize(f), env.Cfg.DefaultLen, k, 1, false)
 			if err != nil {
 				return err
 			}
@@ -301,12 +302,12 @@ func Figure5(w io.Writer, env *Env) error {
 }
 
 // Table6 reports IRR's logical I/O count as Q.k grows.
-func Table6(w io.Writer, env *Env) error {
+func Table6(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 6: number of I/O operations for IRR vs Q.k",
 		"dataset", "Q.k", "IRR I/O ops", "partitions")
 	for _, f := range []Family{News, Twitter} {
 		for _, k := range env.Cfg.KSweep {
-			_, irr, _, err := env.runPoint(f, env.defaultSize(f), env.Cfg.DefaultLen, k, 0, false)
+			_, irr, _, err := env.runPoint(ctx, f, env.defaultSize(f), env.Cfg.DefaultLen, k, 0, false)
 			if err != nil {
 				return err
 			}
@@ -323,7 +324,7 @@ func Table6(w io.Writer, env *Env) error {
 // exists at Table 3's sizes) is compared on the SAME dataset as the other
 // methods; the twitter rows run on the default twitter graph (the paper
 // likewise reports RR(θ̂_w) for news only).
-func Table7(w io.Writer, env *Env) error {
+func Table7(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 7: influence spread when varying Q.k (Monte-Carlo evaluation)",
 		"dataset", "Q.k", "WRIS", "RR(θ̂_w)", "RR", "IRR")
 	newsSize := table3Sizes(env)[0]
@@ -333,7 +334,7 @@ func Table7(w io.Writer, env *Env) error {
 			size = newsSize
 		}
 		for _, k := range env.Cfg.KSweep {
-			rr, irr, online, err := env.runPoint(f, size, env.Cfg.DefaultLen, k, 1, true)
+			rr, irr, online, err := env.runPoint(ctx, f, size, env.Cfg.DefaultLen, k, 1, true)
 			if err != nil {
 				return err
 			}
@@ -354,7 +355,7 @@ func Table7(w io.Writer, env *Env) error {
 				evalRNG := rng.New(env.Cfg.Seed ^ uint64(k))
 				var s float64
 				for _, q := range queries {
-					res, qerr := idx.Query(q)
+					res, qerr := idx.QueryCtx(ctx, q)
 					if qerr != nil {
 						return qerr
 					}
@@ -373,12 +374,12 @@ func Table7(w io.Writer, env *Env) error {
 }
 
 // Figure6 sweeps the keyword count at the default Q.k.
-func Figure6(w io.Writer, env *Env) error {
+func Figure6(ctx context.Context, w io.Writer, env *Env) error {
 	for _, f := range []Family{News, Twitter} {
 		t := newTable(fmt.Sprintf("Figure 6 (%s): vary |Q.T|, Q.k=%d", f, env.Cfg.DefaultK),
 			"|Q.T|", "RR-ms", "IRR-ms", "WRIS-ms", "RR-sets", "IRR-sets")
 		for _, l := range env.Cfg.LenSweep {
-			rr, irr, online, err := env.runPoint(f, env.defaultSize(f), l, env.Cfg.DefaultK, 1, false)
+			rr, irr, online, err := env.runPoint(ctx, f, env.defaultSize(f), l, env.Cfg.DefaultK, 1, false)
 			if err != nil {
 				return err
 			}
@@ -394,13 +395,13 @@ func Figure6(w io.Writer, env *Env) error {
 }
 
 // Figure7 sweeps the graph size at the default query shape.
-func Figure7(w io.Writer, env *Env) error {
+func Figure7(ctx context.Context, w io.Writer, env *Env) error {
 	for _, f := range []Family{News, Twitter} {
 		t := newTable(fmt.Sprintf("Figure 7 (%s): vary |V|, Q.k=%d, |Q.T|=%d",
 			f, env.Cfg.DefaultK, env.Cfg.DefaultLen),
 			"|V|", "RR-ms", "IRR-ms", "WRIS-ms", "RR-sets", "IRR-sets")
 		for _, size := range env.sizes(f) {
-			rr, irr, online, err := env.runPoint(f, size, env.Cfg.DefaultLen, env.Cfg.DefaultK, 1, false)
+			rr, irr, online, err := env.runPoint(ctx, f, size, env.Cfg.DefaultLen, env.Cfg.DefaultK, 1, false)
 			if err != nil {
 				return err
 			}
@@ -417,7 +418,7 @@ func Figure7(w io.Writer, env *Env) error {
 
 // Table8 prints example top-8 seeds for two popular keywords under WRIS(IC),
 // WRIS(LT), and keyword-blind RIS — the qualitative §6.6 study.
-func Table8(w io.Writer, env *Env) error {
+func Table8(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Table 8: example top-8 seeds ('software'=topic0, 'journal'=topic1)",
 		"dataset", "method", "keyword", "seeds")
 	const k = 8
@@ -449,7 +450,7 @@ func Table8(w io.Writer, env *Env) error {
 }
 
 // AblationPartitionSize sweeps the IRR δ parameter.
-func AblationPartitionSize(w io.Writer, env *Env) error {
+func AblationPartitionSize(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Ablation: IRR partition size δ (default query shape)",
 		"dataset", "δ", "IRR-ms", "I/O ops", "RR sets loaded")
 	for _, f := range []Family{News, Twitter} {
@@ -464,7 +465,7 @@ func AblationPartitionSize(w io.Writer, env *Env) error {
 			}
 			var sec, io, loaded float64
 			for _, q := range queries {
-				res, qerr := idx.Query(q)
+				res, qerr := idx.QueryCtx(ctx, q)
 				if qerr != nil {
 					return qerr
 				}
@@ -481,7 +482,7 @@ func AblationPartitionSize(w io.Writer, env *Env) error {
 }
 
 // AblationCompression measures the query-time cost of decompression.
-func AblationCompression(w io.Writer, env *Env) error {
+func AblationCompression(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Ablation: compression impact on RR query time",
 		"dataset", "codec", "RR-ms", "bytes read/query")
 	for _, f := range []Family{News, Twitter} {
@@ -496,7 +497,7 @@ func AblationCompression(w io.Writer, env *Env) error {
 			}
 			var sec, bytes float64
 			for _, q := range queries {
-				res, qerr := idx.Query(q)
+				res, qerr := idx.QueryCtx(ctx, q)
 				if qerr != nil {
 					return qerr
 				}
@@ -513,7 +514,7 @@ func AblationCompression(w io.Writer, env *Env) error {
 
 // AblationGreedy times the plain scan-and-update greedy against the
 // CELF-style lazy variant on an identical coverage instance.
-func AblationGreedy(w io.Writer, env *Env) error {
+func AblationGreedy(ctx context.Context, w io.Writer, env *Env) error {
 	g, prof, err := env.Dataset(Twitter, env.defaultSize(Twitter))
 	if err != nil {
 		return err

@@ -89,7 +89,7 @@ func benchQueryHandler(idx *irrindex.Index) http.HandlerFunc {
 // are identical across the axis — the parity tests pin that — so the
 // experiment isolates what crossing process and network boundaries costs,
 // and what the artifact cache buys back.
-func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
+func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThroughputPoint, error) {
 	g, prof, err := env.Dataset(f, env.defaultSize(f))
 	if err != nil {
 		return nil, err
@@ -190,7 +190,9 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := addPoints("1-engine", full.Query, nil); err != nil {
+	if err := addPoints("1-engine", func(q topic.Query) (*irrindex.QueryResult, error) {
+		return full.QueryCtx(ctx, q)
+	}, nil); err != nil {
 		return nil, err
 	}
 
@@ -211,7 +213,7 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 		return boxIdx[sm.Owner(w)]
 	}
 	if err := addPoints("2-shard box", func(q topic.Query) (*irrindex.QueryResult, error) {
-		return irrindex.QueryMulti(boxOwner, q)
+		return irrindex.QueryMultiCtx(ctx, boxOwner, q)
 	}, nil); err != nil {
 		return nil, err
 	}
@@ -236,7 +238,7 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 		srv := httptest.NewServer(mux)
 		defer srv.Close()
 		client := remote.NewClient(srv.URL, nil)
-		rIdx, err := client.OpenIRR(context.Background())
+		rIdx, err := client.OpenIRR(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +255,7 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 	routerQuery := func(q topic.Query) (*irrindex.QueryResult, error) {
 		owners := sm.Shards(q.Topics)
 		if len(owners) > 1 {
-			return irrindex.QueryMulti(remoteOwner, q)
+			return irrindex.QueryMultiCtx(ctx, remoteOwner, q)
 		}
 		// Co-located fast path: proxy the whole query to the owning node.
 		t0 := time.Now()
@@ -261,7 +263,13 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 		if err != nil {
 			return nil, err
 		}
-		resp, err := hc.Post(nodes[owners[0]].srv.URL+"/query", "application/json", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			nodes[owners[0]].srv.URL+"/query", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := hc.Do(req)
 		if err != nil {
 			return nil, err
 		}
@@ -305,7 +313,7 @@ func RunRouterThroughput(env *Env, f Family) ([]RouterThroughputPoint, error) {
 }
 
 // RouterThroughput prints the cross-node serving experiment.
-func RouterThroughput(w io.Writer, env *Env) error {
+func RouterThroughput(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Router serving: one engine vs in-process shards vs 2-node HTTP router",
 		"dataset", "topology", "workers", "queries", "scatter", "q/s", "mean-ms", "wire-KB")
 	families := []Family{News}
@@ -313,7 +321,7 @@ func RouterThroughput(w io.Writer, env *Env) error {
 		families = []Family{News, Twitter}
 	}
 	for _, f := range families {
-		points, err := RunRouterThroughput(env, f)
+		points, err := RunRouterThroughput(ctx, env, f)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"io"
 	"testing"
 )
@@ -15,7 +17,7 @@ func BenchmarkRouterSmoke(b *testing.B) {
 	}
 	defer env.Close()
 	for i := 0; i < b.N; i++ {
-		if err := RouterThroughput(io.Discard, env); err != nil {
+		if err := RouterThroughput(b.Context(), io.Discard, env); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -29,7 +31,7 @@ func TestRouterThroughputTopologies(t *testing.T) {
 		t.Skip("router sweep skipped in -short mode")
 	}
 	env := tinyEnv(t)
-	points, err := RunRouterThroughput(env, News)
+	points, err := RunRouterThroughput(t.Context(), env, News)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,5 +58,23 @@ func TestRouterThroughputTopologies(t *testing.T) {
 	}
 	if routerWire == 0 {
 		t.Fatal("router arm moved no artifact bytes over the wire")
+	}
+}
+
+// TestRouterThroughputCanceledCtx is the regression test for the detached
+// context kbtim-lint's ctxflow analyzer flagged at the remote-node open:
+// the router arm used to mint context.Background() for OpenIRR and the
+// proxied POST, so a canceled caller could never stop the sweep. With the
+// ctx threaded through, an already-canceled context must surface as an
+// error instead of a completed run.
+func TestRouterThroughputCanceledCtx(t *testing.T) {
+	if testing.Short() {
+		t.Skip("router sweep skipped in -short mode")
+	}
+	env := tinyEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunRouterThroughput(ctx, env, News); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: got %v, want context.Canceled", err)
 	}
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -389,7 +390,7 @@ func RunShardedThroughput(env *Env, f Family) ([]ShardedThroughputPoint, error) 
 // engine-shard count (1/2/4, hash-partitioned keywords, constant total
 // cache memory) vs closed-loop workers. Quick mode covers the News family;
 // full mode adds Twitter.
-func ShardedThroughput(w io.Writer, env *Env) error {
+func ShardedThroughput(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Sharded serving: hash-partitioned engines under closed-loop clients",
 		"dataset", "shards", "workers", "queries", "scatter", "q/s", "mean-ms")
 	families := []Family{News}
@@ -416,7 +417,7 @@ func ShardedThroughput(w io.Writer, env *Env) error {
 // byte-level segments, decoded objects). This is the post-paper scaling
 // axis: §6 measures single-query latency, while a production ad platform
 // serves many advertisers at once.
-func Throughput(w io.Writer, env *Env) error {
+func Throughput(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Throughput: shared IRR index under concurrent closed-loop clients",
 		"dataset", "cache", "workers", "queries", "q/s", "mean-ms", "hit-rate", "disk-reads")
 	for _, f := range []Family{News, Twitter} {

@@ -93,7 +93,7 @@ func TestShardedThroughputRenders(t *testing.T) {
 	}
 	env := tinyEnv(t)
 	var buf bytes.Buffer
-	if err := ShardedThroughput(&buf, env); err != nil {
+	if err := ShardedThroughput(t.Context(), &buf, env); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -111,7 +111,7 @@ func TestThroughputRenders(t *testing.T) {
 	}
 	env := tinyEnv(t)
 	var buf bytes.Buffer
-	if err := Throughput(&buf, env); err != nil {
+	if err := Throughput(t.Context(), &buf, env); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -339,9 +339,9 @@ type kwState struct {
 	// the sparse (map) representation back behind a size cutoff — see the
 	// ROADMAP item.
 	ipHot    []bool
-	next     int    // next partition to fetch
-	kb       int    // upper bound for users not yet seen in IL_w
-	covered  []bool // covered[rrID] for rrID < thetaQw (pooled)
+	next     int       // next partition to fetch
+	kb       int       // upper bound for users not yet seen in IL_w
+	covered  []bool    // covered[rrID] for rrID < thetaQw (pooled)
 	lists    [][]int32 // per-user loaded list (pooled; nil = not loaded)
 	loaded   int       // RR sets (IDs < thetaQw) seen in fetched partitions
 	fetched  int       // partition blocks consumed
@@ -456,6 +456,7 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 // returns exactly the seeds, marginals, and spread a single full index
 // would. The reported IO is the sum over the involved indexes' scopes.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return QueryMultiCtx(context.Background(), owner, q)
 }
 
@@ -993,7 +994,11 @@ func (idx *Index) decodeIP(ctx context.Context, r diskio.Segmented, d *KeywordDi
 // block (the IR part — member lists are skipped, queries never need them).
 // Cache-shared blocks are read-only and never pooled; query-private blocks
 // (no decoded cache) borrow their backing arrays from the scratch pools
-// (arena backs every lists[i]) and are released at query end.
+// (arena backs every lists[i]) and are released at query end. Cached blocks
+// are shared read-only; post-construction writes outside the constructing
+// function are checked by kbtim-lint's cacheimmutable.
+//
+//kbtim:cached
 type partBlock struct {
 	users  []uint32
 	lists  [][]int32
@@ -1142,7 +1147,7 @@ func (idx *Index) partition(ctx context.Context, r diskio.Segmented, d *KeywordD
 // pools; its arena is pre-sized to the partition's byte length (a safe upper
 // bound on decoded entries — every entry costs at least one byte), so the
 // per-user subslices never move.
-func (idx *Index) decodePartition(ctx context.Context, r diskio.Segmented, d *KeywordDir, pi, limit int, pooled bool) (*partBlock, error) {
+func (idx *Index) decodePartition(ctx context.Context, r diskio.Segmented, d *KeywordDir, pi, limit int, pooled bool) (_ *partBlock, err error) {
 	p := d.Partitions[pi]
 	buf, err := idx.artifact(ctx, r, UnitPart, d.TopicID, int64(pi), p.Off, p.Len)
 	if err != nil {
@@ -1155,6 +1160,13 @@ func (idx *Index) decodePartition(ctx context.Context, r diskio.Segmented, d *Ke
 		blk.lists = pool.Int32Lists(p.NumUsers)[:0]
 		blk.setIDs = pool.Uint32s(p.NumSets)[:0]
 		blk.arena = pool.Int32s(int(p.Len))[:0]
+		// A decode error below abandons blk before the caller ever sees
+		// it; return the borrowed arrays instead of leaking them.
+		defer func() {
+			if err != nil {
+				blk.release()
+			}
+		}()
 	} else {
 		blk.users = make([]uint32, 0, p.NumUsers)
 		blk.lists = make([][]int32, 0, p.NumUsers)

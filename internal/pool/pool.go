@@ -16,7 +16,21 @@ package pool
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
+
+// gets and puts count SlicePool.Get and Put calls across every pool in
+// the process. The counters exist for the leak regression tests (and
+// kbtim-lint's poolpair analyzer they back up): around any code path —
+// in particular error paths — the number of gets and puts must balance
+// once the path has run to completion. One uncontended atomic add per
+// per-query pool operation is noise next to the zeroing Put already does.
+var gets, puts atomic.Int64
+
+// Counts returns the cumulative Get and Put call counts across every
+// SlicePool. Tests snapshot it before and after the code under test and
+// assert the deltas balance.
+func Counts() (g, p int64) { return gets.Load(), puts.Load() }
 
 // minClassBits is the smallest pooled capacity (1<<minClassBits); requests
 // below it share the smallest class.
@@ -48,6 +62,7 @@ func class(n int) int {
 // Get returns a zeroed slice of length n (capacity rounded up to the size
 // class). Slices beyond the largest class are freshly allocated.
 func (p *SlicePool[T]) Get(n int) []T {
+	gets.Add(1)
 	c := class(n)
 	if c < 0 {
 		return make([]T, n)
@@ -73,6 +88,7 @@ func (p *SlicePool[T]) Get(n int) []T {
 // are cleared here too, so pooled entries never pin a previous query's
 // memory for the GC.
 func (p *SlicePool[T]) Put(s []T) {
+	puts.Add(1)
 	if cap(s) < 1<<minClassBits {
 		return
 	}

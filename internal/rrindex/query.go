@@ -343,6 +343,7 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 // index reads through its own per-query I/O scope; the reported IO is their
 // sum.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return QueryMultiCtx(context.Background(), owner, q)
 }
 
@@ -681,7 +682,7 @@ func (idx *Index) setsPrefix(ctx context.Context, r diskio.Segmented, d *Keyword
 // batch. A pooled batch borrows its backing arrays from the scratch pools
 // (query-private use only — NEVER for a batch published to the decoded
 // cache, whose artifacts are shared and immutable).
-func (idx *Index) decodeSets(ctx context.Context, r diskio.Segmented, d *KeywordDir, t int, pooled bool) (*rrset.Batch, error) {
+func (idx *Index) decodeSets(ctx context.Context, r diskio.Segmented, d *KeywordDir, t int, pooled bool) (_ *rrset.Batch, err error) {
 	buf, err := idx.artifact(ctx, r, UnitSets, d.TopicID, int64(t), d.SetsOff, d.prefixBytes(int64(t)))
 	if err != nil {
 		return nil, err
@@ -694,6 +695,14 @@ func (idx *Index) decodeSets(ctx context.Context, r diskio.Segmented, d *Keyword
 		// rest. Off is exactly t+1 entries.
 		batch.Flat = pool.Uint32s(len(buf) / 2)[:0]
 		batch.Off = pool.Int64s(t + 1)[:0]
+		// A decode error below abandons batch before the caller ever
+		// sees it; return the borrowed arrays instead of leaking them.
+		defer func() {
+			if err != nil {
+				pool.PutUint32s(batch.Flat)
+				pool.PutInt64s(batch.Off)
+			}
+		}()
 	}
 	pos := 0
 	scratch := pool.Uint32s(64)[:0]
@@ -718,7 +727,10 @@ func (idx *Index) decodeSets(ctx context.Context, r diskio.Segmented, d *Keyword
 
 // invTable is one keyword's fully decoded inverted region: verts[i]'s
 // ascending, UNtrimmed RR-ID lists are lists[i]. Shared read-only through the
-// decoded cache; queries trim by slicing.
+// decoded cache; queries trim by slicing. Post-construction writes outside
+// the constructing function are checked by kbtim-lint's cacheimmutable.
+//
+//kbtim:cached
 type invTable struct {
 	verts []uint32
 	lists [][]int32

@@ -12,7 +12,11 @@ import (
 // Batch is a collection of RR sets stored in one flat arena: set i occupies
 // Flat[Off[i]:Off[i+1]]. Flat storage keeps hundreds of thousands of sets
 // allocation- and GC-friendly, and it is the exact shape the disk index
-// serializes.
+// serializes. Decoded batches are published through internal/objcache and
+// shared read-only between queries, so post-construction writes outside
+// the constructing function are checked by kbtim-lint's cacheimmutable.
+//
+//kbtim:cached
 type Batch struct {
 	Off  []int64
 	Flat []uint32
