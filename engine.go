@@ -232,7 +232,7 @@ type Engine struct {
 	// pointer swaps and acquisitions — it is never held across a query or
 	// any I/O, so it cannot be the writer-starvation lock the previous
 	// whole-query RWMutex was.
-	mu     sync.Mutex
+	mu     sync.Mutex //kbtim:lockrank 30
 	closed bool
 	rrH    *indexHandle
 	irrH   *indexHandle
@@ -599,7 +599,6 @@ func ioStats(s diskio.Stats, decHits, decMisses int64) IOStats {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryRR(q Query) (*Result, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return e.QueryRRCtx(context.Background(), q)
 }
 
@@ -631,7 +630,6 @@ func (e *Engine) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 // concurrent use; the query pins the handle it starts on, so a concurrent
 // Open/Close can neither pull the index out from under it nor make it wait.
 func (e *Engine) QueryIRR(q Query) (*Result, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return e.QueryIRRCtx(context.Background(), q)
 }
 

@@ -42,6 +42,7 @@ func Run(t *testing.T, moduleDir, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
 	}
+	diags = analysis.Active(diags)
 
 	wants, err := collectWants(dir)
 	if err != nil {

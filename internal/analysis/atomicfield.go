@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomicfield checks that the serving-stats counters stay coherent: a
+// struct field that is accessed atomically anywhere in a package must
+// be accessed atomically everywhere.
+//
+// Two styles are covered:
+//
+//   - Function-style (sync/atomic.AddInt64(&s.n, 1) ...): once any
+//     call passes &x.F to a sync/atomic function, every other plain
+//     read or write of that field in the package is reported.
+//   - Typed-style (atomic.Int64 / Uint64 / Bool / ... fields): the
+//     field's value must never be copied — assigned, passed, returned,
+//     or compared as a value. Method calls through the field and
+//     taking its address are the only legitimate uses. (go vet's
+//     copylocks catches whole-struct copies; this catches the
+//     field-level reads that silently tear on 32-bit platforms or
+//     race undetected.)
+var Atomicfield = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "check that fields accessed via sync/atomic are never read or written non-atomically",
+	Run:  runAtomicfield,
+}
+
+func runAtomicfield(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: collect fields used function-style, and remember the
+	// exact selector nodes that appear as atomic-call operands so pass
+	// 2 can exempt them.
+	atomicFields := make(map[*types.Var]bool)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isSyncAtomicCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fv := fieldVarOf(info, sel); fv != nil {
+					atomicFields[fv] = true
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag every other access to those fields, plus value
+	// copies of typed-atomic fields.
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fv := fieldVarOf(info, sel)
+			if fv == nil {
+				return true
+			}
+			parent := ast.Node(nil)
+			if len(stack) >= 2 {
+				parent = stack[len(stack)-2]
+			}
+			if atomicFields[fv] && !sanctioned[sel] && !isAddressedBy(parent, sel) {
+				pass.Reportf(sel.Pos(),
+					"field %s is accessed with sync/atomic elsewhere in this package; this access must be atomic too",
+					fv.Name())
+				return true
+			}
+			if isAtomicValueType(fv.Type()) && isValueUse(parent, sel) {
+				pass.Reportf(sel.Pos(),
+					"atomic field %s must not be used as a plain value; call its methods (Load/Store/Add) instead",
+					fv.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicCall reports a call to a package-level function of
+// sync/atomic (AddInt64, LoadUint32, CompareAndSwapPointer, ...).
+func isSyncAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// fieldVarOf resolves sel to the struct field it selects, or nil.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	selection := info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	return selection.Obj().(*types.Var)
+}
+
+// isAddressedBy reports whether parent is &sel — taking the address is
+// how the field is handed to sync/atomic, so it is never a plain use.
+func isAddressedBy(parent ast.Node, sel *ast.SelectorExpr) bool {
+	u, ok := parent.(*ast.UnaryExpr)
+	return ok && u.Op == token.AND && unparen(u.X) == sel
+}
+
+// isAtomicValueType reports the named value types of sync/atomic
+// (atomic.Int64, atomic.Uint64, atomic.Bool, atomic.Pointer[T], ...).
+func isAtomicValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// isValueUse reports whether sel (a typed-atomic field) is being used
+// as a value rather than through its methods or address. The parent
+// node decides: selecting a method (x.F.Load), taking the address
+// (&x.F), or indexing through it are fine; everything else — an
+// assignment side, a call argument, a return value, a comparison — is
+// a copy of atomic state.
+func isValueUse(parent ast.Node, sel *ast.SelectorExpr) bool {
+	switch p := parent.(type) {
+	case nil:
+		return false
+	case *ast.SelectorExpr:
+		// x.F.Load() — method or promoted access through the field.
+		return p.X != sel && unparen(p.X) != sel
+	case *ast.UnaryExpr:
+		return p.Op != token.AND
+	case *ast.ParenExpr:
+		return false // the paren's own parent was already consulted
+	case *ast.IndexExpr:
+		// inflight[i] where the field is a slice/array of atomics.
+		return unparen(p.X) != sel
+	case *ast.KeyValueExpr:
+		// T{F: ...}: the key is a name, not a read.
+		return p.Key != sel
+	}
+	return true
+}

@@ -1,0 +1,429 @@
+package analysis
+
+// This file builds the basic-block control-flow graph the flow analyses
+// run on. One CFG is built per function body (function literals are
+// separate scopes with their own CFGs). The builder models the full Go
+// statement repertoire the old statement-structural walker could not:
+// goto, labeled break/continue out of nested constructs, switch
+// fallthrough, select, and short-circuit && / || — every `a && b`
+// anywhere in an emitted expression is decomposed into its own diamond
+// of blocks, so an effect buried in the right operand is only visible
+// on the paths that actually evaluate it.
+//
+// Blocks hold ast.Nodes (statements and decomposed condition operands)
+// in execution order. Composite statements are never stored wholesale:
+// only their "header" parts (an if/for condition leaf, a range
+// expression, a switch tag) become nodes, and their bodies become
+// separate blocks — so an analysis visiting every node of every block
+// sees each expression exactly once. Because short-circuit operands are
+// emitted as their own nodes, analyses must walk block nodes with
+// inspectShallow, which skips && / || operand subtrees.
+//
+// A block that ends in a boolean branch records the condition in cond:
+// succs[0] is the true edge and succs[1] the false edge, which is what
+// lets the flow analyses refine state along `if err != nil` guards.
+// Return statements are terminal nodes (no successor); falling off the
+// end of the body flows to the synthetic exit block.
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A cfgBlock is one basic block: nodes executed in order, then either a
+// boolean branch (cond != nil, succs[0]=true / succs[1]=false), a
+// multiway dispatch (cond == nil, len(succs) > 1, e.g. select or
+// switch), a jump (one successor), or termination (no successors).
+type cfgBlock struct {
+	idx   int
+	nodes []ast.Node
+	cond  ast.Expr
+	succs []*cfgBlock
+}
+
+// A funcCFG is one function body's control-flow graph.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // reached by falling off the end of the body
+	blocks []*cfgBlock
+}
+
+// cfgFrame is one open breakable construct during building: a loop
+// (continueTo != nil), or a switch/select (break only).
+type cfgFrame struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock
+}
+
+type cfgBuilder struct {
+	cfg           *funcCFG
+	cur           *cfgBlock
+	frames        []cfgFrame
+	labels        map[string]*cfgBlock // goto / labeled-statement targets
+	pendingLabel  string
+	fallthroughTo *cfgBlock
+}
+
+// buildCFG constructs the CFG for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{cfg: &funcCFG{}, labels: make(map[string]*cfgBlock)}
+	b.cfg.entry = b.newBlock()
+	b.cfg.exit = b.newBlock()
+	b.cur = b.cfg.entry
+	b.emitList(body.List)
+	b.edge(b.cur, b.cfg.exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{idx: len(b.cfg.blocks)}
+	b.cfg.blocks = append(b.cfg.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// startUnreachable replaces cur with a fresh block no edge leads to,
+// used after return/goto/terminators so trailing dead code parses into
+// blocks the dataflow never reaches.
+func (b *cfgBuilder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+// labelBlock returns (creating on demand) the block a label names, the
+// join point for both goto and the labeled statement itself.
+func (b *cfgBuilder) labelBlock(name string) *cfgBlock {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) emitList(list []ast.Stmt) {
+	for _, s := range list {
+		b.emitStmt(s)
+	}
+}
+
+// addNode emits the short-circuit diamonds nested anywhere inside n,
+// then appends n itself to the current block.
+func (b *cfgBuilder) addNode(n ast.Node) {
+	b.emitShortCircuits(n)
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) emitStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.emitList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.emitStmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.emitStmt(s.Init)
+		}
+		thenB, afterB := b.newBlock(), b.newBlock()
+		elseB := afterB
+		if s.Else != nil {
+			elseB = b.newBlock()
+		}
+		b.emitCond(s.Cond, thenB, elseB)
+		b.cur = thenB
+		b.emitStmt(s.Body)
+		b.edge(b.cur, afterB)
+		if s.Else != nil {
+			b.cur = elseB
+			b.emitStmt(s.Else)
+			b.edge(b.cur, afterB)
+		}
+		b.cur = afterB
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emitStmt(s.Init)
+		}
+		headB, bodyB, afterB := b.newBlock(), b.newBlock(), b.newBlock()
+		postB := headB
+		if s.Post != nil {
+			postB = b.newBlock()
+		}
+		b.edge(b.cur, headB)
+		b.cur = headB
+		if s.Cond != nil {
+			b.emitCond(s.Cond, bodyB, afterB)
+		} else {
+			b.edge(b.cur, bodyB)
+		}
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: afterB, continueTo: postB})
+		b.cur = bodyB
+		b.emitStmt(s.Body)
+		b.edge(b.cur, postB)
+		if s.Post != nil {
+			b.cur = postB
+			b.emitStmt(s.Post)
+			b.edge(b.cur, headB)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = afterB
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		headB, bodyB, afterB := b.newBlock(), b.newBlock(), b.newBlock()
+		b.edge(b.cur, headB)
+		b.cur = headB
+		b.addNode(s.X)
+		b.edge(b.cur, bodyB)
+		b.edge(b.cur, afterB)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: afterB, continueTo: headB})
+		b.cur = bodyB
+		b.emitStmt(s.Body)
+		b.edge(b.cur, headB)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = afterB
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emitStmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.addNode(s.Tag)
+		}
+		b.emitClauses(label, s.Body, true)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.emitStmt(s.Init)
+		}
+		b.addNode(s.Assign)
+		b.emitClauses(label, s.Body, false)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		headB, afterB := b.newBlock(), b.newBlock()
+		b.edge(b.cur, headB)
+		b.frames = append(b.frames, cfgFrame{label: label, breakTo: afterB})
+		for _, c := range s.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			clauseB := b.newBlock()
+			b.edge(headB, clauseB)
+			b.cur = clauseB
+			if cc.Comm != nil {
+				b.emitStmt(cc.Comm)
+			}
+			b.emitList(cc.Body)
+			b.edge(b.cur, afterB)
+		}
+		// Exactly one case runs: a select with no cases blocks forever,
+		// so only then does control never reach after.
+		if len(s.Body.List) == 0 {
+			b.edge(headB, afterB)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = afterB
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findFrame(s.Label, false); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.findFrame(s.Label, true); t != nil {
+				b.edge(b.cur, t)
+			}
+		case token.GOTO:
+			b.edge(b.cur, b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.edge(b.cur, b.fallthroughTo)
+			}
+		}
+		b.startUnreachable()
+
+	case *ast.ReturnStmt:
+		b.addNode(s)
+		b.startUnreachable()
+
+	case *ast.ExprStmt:
+		b.addNode(s)
+		if c, ok := s.X.(*ast.CallExpr); ok && isTerminator(c) {
+			b.startUnreachable()
+		}
+
+	case nil:
+		// tolerated (e.g. a missing else emitted defensively)
+
+	default:
+		// DeferStmt, GoStmt, AssignStmt, IncDecStmt, SendStmt, DeclStmt,
+		// EmptyStmt: straight-line statements.
+		b.addNode(s)
+	}
+}
+
+// emitClauses emits switch / type-switch case bodies. Bodies are
+// pre-allocated so fallthrough can edge into the next clause.
+func (b *cfgBuilder) emitClauses(label string, body *ast.BlockStmt, allowFallthrough bool) {
+	afterB := b.newBlock()
+	headB := b.cur
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	clauseB := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		clauseB[i] = b.newBlock()
+		b.edge(headB, clauseB[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// Case expressions are evaluated while dispatching.
+		for _, e := range cc.List {
+			b.cur = headB
+			b.addNode(e)
+		}
+	}
+	if !hasDefault {
+		b.edge(headB, afterB)
+	}
+	b.frames = append(b.frames, cfgFrame{label: label, breakTo: afterB})
+	savedFT := b.fallthroughTo
+	for i, cc := range clauses {
+		b.fallthroughTo = nil
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = clauseB[i+1]
+		}
+		b.cur = clauseB[i]
+		b.emitList(cc.Body)
+		b.edge(b.cur, afterB)
+	}
+	b.fallthroughTo = savedFT
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = afterB
+}
+
+// findFrame resolves a break (continueOnly=false) or continue
+// (continueOnly=true) target, honoring an optional label.
+func (b *cfgBuilder) findFrame(label *ast.Ident, continueOnly bool) *cfgBlock {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		fr := b.frames[i]
+		if continueOnly && fr.continueTo == nil {
+			continue // break-only frame (switch/select) is transparent to continue
+		}
+		if label != nil && fr.label != label.Name {
+			continue
+		}
+		if continueOnly {
+			return fr.continueTo
+		}
+		return fr.breakTo
+	}
+	return nil
+}
+
+// emitCond emits the evaluation of a boolean condition, branching to t
+// when it holds and f when it does not, decomposing short-circuit
+// operators into separate blocks so each operand's effects stay on the
+// paths that run it.
+func (b *cfgBuilder) emitCond(e ast.Expr, t, f *cfgBlock) {
+	switch x := unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch x.Op {
+		case token.LAND:
+			mid := b.newBlock()
+			b.emitCond(x.X, mid, f)
+			b.cur = mid
+			b.emitCond(x.Y, t, f)
+			return
+		case token.LOR:
+			mid := b.newBlock()
+			b.emitCond(x.X, t, mid)
+			b.cur = mid
+			b.emitCond(x.Y, t, f)
+			return
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.NOT {
+			b.emitCond(x.X, f, t)
+			return
+		}
+	}
+	b.addNode(e)
+	b.cur.cond = e
+	b.edge(b.cur, t)
+	b.edge(b.cur, f)
+}
+
+// emitShortCircuits finds the outermost && / || expressions anywhere
+// inside n (function literals excluded — they are their own scopes) and
+// emits each as a value diamond: both branches rejoin, but an effect in
+// the right operand only exists on the paths that evaluate it.
+func (b *cfgBuilder) emitShortCircuits(n ast.Node) {
+	var outer []*ast.BinaryExpr
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BinaryExpr:
+			if x.Op == token.LAND || x.Op == token.LOR {
+				outer = append(outer, x)
+				return false
+			}
+		}
+		return true
+	})
+	for _, sc := range outer {
+		merge := b.newBlock()
+		b.emitCond(sc, merge, merge)
+		b.cur = merge
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// inspectShallow walks n like ast.Inspect but does not descend into the
+// operands of && / || (the CFG builder emitted those as separate nodes)
+// so analyses that sum effects over a block's nodes count each
+// subexpression exactly once.
+func inspectShallow(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if be, ok := x.(*ast.BinaryExpr); ok && (be.Op == token.LAND || be.Op == token.LOR) {
+			return false
+		}
+		return visit(x)
+	})
+}

@@ -12,9 +12,11 @@ import (
 // context.Background() and context.TODO(): a fresh root context there
 // detaches the work from the caller's deadline and cancellation, which
 // is exactly the bug class PR 5's cross-node cancellation work existed
-// to kill. The non-Ctx compatibility wrappers (Engine.QueryRR and
-// friends) are the intentional exceptions and carry //kbtim:allow
-// comments. Independent of package scope, any function holding a
+// to kill. Two exemptions apply: the non-Ctx compatibility wrappers
+// (Engine.QueryRR and friends — recognized structurally, see
+// isCompatWrapper) and _test.go files, where the test function is its
+// own root caller and context.Background() is the correct root.
+// Independent of package scope and file kind, any function holding a
 // context that calls a sibling when a ...Ctx variant of that sibling
 // exists is flagged for dropping its ctx on the floor.
 var Ctxflow = &Analyzer{
@@ -36,17 +38,23 @@ var CtxflowScope = map[string]bool{
 func runCtxflow(pass *Pass) error {
 	inScope := CtxflowScope[pass.Pkg.Path()]
 	for _, f := range pass.Files {
-		if inScope {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
+		banHere := inScope && !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		if banHere {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && isCompatWrapper(pass.TypesInfo, fd) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if name := contextRootCall(pass.TypesInfo, call); name != "" {
+						pass.Reportf(call.Pos(), "context.%s() on the query path; thread the caller's ctx instead", name)
+					}
 					return true
-				}
-				if name := contextRootCall(pass.TypesInfo, call); name != "" {
-					pass.Reportf(call.Pos(), "context.%s() on the query path; thread the caller's ctx instead", name)
-				}
-				return true
-			})
+				})
+			}
 		}
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -57,6 +65,41 @@ func runCtxflow(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// isCompatWrapper reports the sanctioned non-Ctx compatibility wrapper
+// shape: a function with no context parameter whose entire body is a
+// single call to its own ...Ctx sibling seeded with a fresh root
+// context:
+//
+//	func (e *Engine) QueryRR(q Query) (RRResult, error) {
+//		return e.QueryRRCtx(context.Background(), q)
+//	}
+//
+// The fresh root is the wrapper's whole point — it exists so callers
+// without a context keep working — so the Background/TODO ban does not
+// apply inside it. Anything beyond that one delegating call (extra
+// statements, a different callee name, a stored context) falls back to
+// the ban.
+func isCompatWrapper(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Body == nil || len(fd.Body.List) != 1 || hasCtxParam(info, fd) {
+		return false
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return false
+		}
+		call, _ = unparen(st.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = unparen(st.X).(*ast.CallExpr)
+	}
+	if call == nil || calleeName(call) != fd.Name.Name+"Ctx" || len(call.Args) == 0 {
+		return false
+	}
+	root, ok := unparen(call.Args[0]).(*ast.CallExpr)
+	return ok && contextRootCall(info, root) != ""
 }
 
 // contextRootCall returns "Background" or "TODO" when call is

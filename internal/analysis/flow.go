@@ -1,17 +1,30 @@
 package analysis
 
 // This file implements the path-sensitive "settled on every path" check
-// shared by handlepin and poolpair. It is a deliberately small CFG-lite:
-// instead of building a control-flow graph it walks statement lists
-// recursively, maintaining a single liveness flag for one tracked
-// resource, and reports any function exit reachable while the resource
-// is still live. The approximations all lean toward silence (an
-// aliased, overwritten, or structurally-transferred resource simply
-// stops being tracked) so the checker can gate CI without drowning the
-// tree in false positives; the invariants it *does* enforce — release
-// before every return, release before falling off the function, release
-// before the next loop iteration — are exactly the ones whose violation
-// leaks a refcount or a pooled slice.
+// shared by handlepin, poolpair, and lockorder. It runs a forward
+// dataflow over the basic-block CFG built in cfg.go, maintaining one
+// liveness state per tracked resource:
+//
+//	dead  — not yet acquired, or already settled
+//	armed — live, but a deferred release settles it at function exit
+//	live  — live and unsettled
+//
+// The join is the maximum (any path arriving live keeps the obligation
+// alive), so the fixpoint converges in at most two passes per back
+// edge. Violations are function exits (return nodes or the synthetic
+// exit block) reachable live, and the acquisition node re-reached live
+// (the next loop iteration would overwrite the unsettled resource).
+// Branch edges on `err != nil` / `err == nil` conditions tied to the
+// acquisition's error result are refined to dead on the failure side,
+// since no resource exists when the acquire failed.
+//
+// The approximations all lean toward silence (an aliased, overwritten,
+// or structurally-transferred resource simply stops being tracked) so
+// the checker can gate CI without drowning the tree in false positives;
+// the invariants it *does* enforce — release before every return,
+// release before falling off the function, release before the next loop
+// iteration — are exactly the ones whose violation leaks a refcount, a
+// pooled slice, or a held mutex.
 
 import (
 	"go/ast"
@@ -20,8 +33,9 @@ import (
 )
 
 // A tracked resource is one acquisition (an index handle, a cleanup
-// func, or a pooled slice) that must be settled — released, deferred,
-// or ownership-transferred — on every path out of its function.
+// func, a pooled slice, or a held lock) that must be settled —
+// released, deferred, or ownership-transferred — on every path out of
+// its function.
 type tracked struct {
 	pos     token.Pos    // acquisition site, where diagnostics anchor
 	what    string       // diagnostic noun, e.g. "handle from acquireRR"
@@ -30,8 +44,32 @@ type tracked struct {
 	exprStr string       // canonical text of the tracked expr ("h", "rel", "blk.arena")
 	errObj  types.Object // error result assigned alongside the acquisition, or nil
 
+	acquire   ast.Node // acquisition node in the CFG; nil when live on entry
+	entryLive bool     // live at function entry (parameters, summaries)
+
 	// isRelease reports whether a call settles the resource.
 	isRelease func(call *ast.CallExpr) bool
+}
+
+type settleState uint8
+
+const (
+	stDead  settleState = iota // not yet acquired, or settled
+	stArmed                    // live, but a deferred release settles at exit
+	stLive                     // live and unsettled
+)
+
+type violKind int
+
+const (
+	violReturn violKind = iota // a return statement reached live
+	violLoop                   // the acquisition re-reached live (loop)
+	violExit                   // fell off the end of the function live
+)
+
+type flowViolation struct {
+	kind violKind
+	pos  token.Pos // the offending return (violReturn), else the acquisition
 }
 
 // mentions reports whether n references the tracked object (or, for
@@ -72,11 +110,44 @@ func (tr *tracked) releasedIn(n ast.Node) bool {
 	return rel
 }
 
-// errGuard classifies an if statement against the acquisition's error
-// result. kind is guardNone for unrelated conditions, guardErr for
-// `if err != nil` (the acquire failed, so no resource exists — the body
-// is exempt), guardOK for `if err == nil` (the resource only exists
-// inside the body).
+// releasedInShallow is releasedIn restricted to the parts of n the CFG
+// attributes to this node: short-circuit operands are skipped (the
+// builder emitted them as separate nodes on their own paths), but
+// function-literal bodies are still descended in full, since closures
+// are not decomposed.
+func (tr *tracked) releasedInShallow(n ast.Node) bool {
+	rel := false
+	var walk func(n ast.Node, shallow bool)
+	walk = func(n ast.Node, shallow bool) {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if rel {
+				return false
+			}
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				walk(x.Body, false)
+				return false
+			case *ast.BinaryExpr:
+				if shallow && (x.Op == token.LAND || x.Op == token.LOR) {
+					return false
+				}
+			case *ast.CallExpr:
+				if tr.isRelease(x) {
+					rel = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(n, true)
+	return rel
+}
+
+// guardKind classifies a branch condition against the acquisition's
+// error result: guardNone for unrelated conditions, guardErr for
+// `err != nil` (true edge means the acquire failed — no resource),
+// guardOK for `err == nil` (false edge means no resource).
 type guardKind int
 
 const (
@@ -85,20 +156,20 @@ const (
 	guardOK
 )
 
-func (tr *tracked) errGuard(info *types.Info, s *ast.IfStmt) guardKind {
-	if tr.errObj == nil || s.Init != nil {
+func (tr *tracked) condErrGuard(info *types.Info, cond ast.Expr) guardKind {
+	if tr.errObj == nil {
 		return guardNone
 	}
-	b, ok := s.Cond.(*ast.BinaryExpr)
+	b, ok := unparen(cond).(*ast.BinaryExpr)
 	if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
 		return guardNone
 	}
 	matches := func(e ast.Expr) bool {
-		id, ok := e.(*ast.Ident)
+		id, ok := unparen(e).(*ast.Ident)
 		return ok && info.Uses[id] == tr.errObj
 	}
 	isNil := func(e ast.Expr) bool {
-		id, ok := e.(*ast.Ident)
+		id, ok := unparen(e).(*ast.Ident)
 		return ok && id.Name == "nil"
 	}
 	if (matches(b.X) && isNil(b.Y)) || (matches(b.Y) && isNil(b.X)) {
@@ -110,17 +181,73 @@ func (tr *tracked) errGuard(info *types.Info, s *ast.IfStmt) guardKind {
 	return guardNone
 }
 
-// scanResult summarizes one statement list entered with the resource
-// live. violPos is the first function exit reachable with the resource
-// still live (NoPos if none); live reports whether control can reach
-// the end of the list with the resource still unsettled.
-type scanResult struct {
-	violPos token.Pos
-	live    bool
+// condNilGuard classifies a branch condition that nil-checks the
+// tracked object itself: on the edge where it is nil there is nothing
+// to release. guardErr maps to "true edge has no resource" (obj == nil)
+// and guardOK to "false edge has no resource" (obj != nil), mirroring
+// the error-guard meanings so refineEdge can treat both uniformly. This
+// is what lets the idiomatic helper shape
+//
+//	func closeHandle(h *handle) {
+//		if h == nil {
+//			return
+//		}
+//		h.release()
+//	}
+//
+// count as settling its parameter in the interprocedural summary.
+func (tr *tracked) condNilGuard(info *types.Info, cond ast.Expr) guardKind {
+	if tr.obj == nil {
+		return guardNone
+	}
+	b, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+		return guardNone
+	}
+	matches := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && identObj(info, id) == tr.obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (matches(b.X) && isNil(b.Y)) || (matches(b.Y) && isNil(b.X)) {
+		if b.Op == token.EQL {
+			return guardErr
+		}
+		return guardOK
+	}
+	return guardNone
+}
+
+// refineEdge adjusts the state flowing along one branch edge: on the
+// side of an error guard where the acquire failed — or of a nil check
+// where the resource itself is nil — no resource exists.
+func (tr *tracked) refineEdge(info *types.Info, cond ast.Expr, isTrue bool, st settleState) settleState {
+	if st == stDead {
+		return st
+	}
+	g := tr.condErrGuard(info, cond)
+	if g == guardNone {
+		g = tr.condNilGuard(info, cond)
+	}
+	switch g {
+	case guardErr:
+		if isTrue {
+			return stDead
+		}
+	case guardOK:
+		if !isTrue {
+			return stDead
+		}
+	}
+	return st
 }
 
 // isTerminator reports calls that never return: panic, os.Exit,
-// log.Fatal*, runtime.Goexit, testing fatals.
+// log.Fatal*, runtime.Goexit, testing fatals. The CFG builder cuts
+// outgoing edges after such calls.
 func isTerminator(call *ast.CallExpr) bool {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
@@ -134,128 +261,65 @@ func isTerminator(call *ast.CallExpr) bool {
 	return false
 }
 
-// scanList walks one statement list with the resource live on entry.
-func (tr *tracked) scanList(info *types.Info, list []ast.Stmt) scanResult {
-	for _, s := range list {
-		switch s := s.(type) {
-		case *ast.DeferStmt:
-			if tr.isRelease(s.Call) {
-				return scanResult{}
-			}
-			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok && tr.releasedIn(lit.Body) {
-				return scanResult{}
-			}
-
-		case *ast.GoStmt:
-			// A goroutine that releases the resource owns it from here;
-			// the synchronization is the author's problem, not ours.
-			if tr.releasedIn(s.Call) {
-				return scanResult{}
-			}
-
-		case *ast.ExprStmt:
-			if tr.releasedIn(s) {
-				return scanResult{}
-			}
-			if c, ok := s.X.(*ast.CallExpr); ok && isTerminator(c) {
-				return scanResult{}
-			}
-
-		case *ast.AssignStmt:
-			if tr.releasedIn(s) {
-				return scanResult{}
-			}
-			if done := tr.scanAssign(info, s); done {
-				return scanResult{}
-			}
-
-		case *ast.ReturnStmt:
-			if tr.mentions(info, s) {
-				// Returning the resource (or its containing struct)
-				// transfers ownership to the caller.
-				return scanResult{}
-			}
-			return scanResult{violPos: s.Pos()}
-
-		case *ast.BranchStmt:
-			// break/continue/goto: leaves this list with the resource
-			// live; the enclosing construct decides what that means.
-			return scanResult{live: true}
-
-		case *ast.IfStmt:
-			switch tr.errGuard(info, s) {
-			case guardErr:
-				continue // acquire failed inside: no resource to settle
-			case guardOK:
-				res := tr.scanList(info, bodyList(s.Body))
-				if res.violPos.IsValid() {
-					return res
-				}
-				// On the implicit else path the acquire failed, so the
-				// resource is live afterwards only if the success body
-				// fell through with it live.
-				if !res.live {
-					return scanResult{}
-				}
-				continue
-			}
-			body := tr.scanList(info, bodyList(s.Body))
-			if body.violPos.IsValid() {
-				return body
-			}
-			elseLive := true // missing else falls through live
-			if s.Else != nil {
-				res := tr.scanList(info, []ast.Stmt{s.Else})
-				if res.violPos.IsValid() {
-					return res
-				}
-				elseLive = res.live
-			}
-			if !body.live && !elseLive {
-				return scanResult{}
-			}
-
-		case *ast.BlockStmt:
-			res := tr.scanList(info, s.List)
-			if res.violPos.IsValid() || !res.live {
-				return res
-			}
-
-		case *ast.LabeledStmt:
-			res := tr.scanList(info, []ast.Stmt{s.Stmt})
-			if res.violPos.IsValid() || !res.live {
-				return res
-			}
-
-		case *ast.ForStmt:
-			if res := tr.scanList(info, bodyList(s.Body)); res.violPos.IsValid() {
-				return res
-			}
-			// The loop may run zero times, so the resource stays live.
-
-		case *ast.RangeStmt:
-			if res := tr.scanList(info, bodyList(s.Body)); res.violPos.IsValid() {
-				return res
-			}
-
-		case *ast.SwitchStmt:
-			if res := tr.scanClauses(info, s.Body, hasDefault(s.Body)); res.violPos.IsValid() || !res.live {
-				return res
-			}
-
-		case *ast.TypeSwitchStmt:
-			if res := tr.scanClauses(info, s.Body, hasDefault(s.Body)); res.violPos.IsValid() || !res.live {
-				return res
-			}
-
-		case *ast.SelectStmt:
-			// Exactly one case runs, so liveness is the OR of the cases.
-			if res := tr.scanClauses(info, s.Body, true); res.violPos.IsValid() || !res.live {
-				return res
-			}
+// transferNode applies one CFG node to the resource state. During the
+// fixpoint report is nil; the final pass re-walks with the converged
+// block-entry states and a non-nil report to collect violations.
+func (tr *tracked) transferNode(info *types.Info, n ast.Node, st settleState, report func(violKind, token.Pos)) settleState {
+	if tr.acquire != nil && n == tr.acquire {
+		if st == stLive && report != nil {
+			report(violLoop, n.Pos())
 		}
+		// A fresh resource is acquired here regardless of what happened
+		// to the previous one.
+		return stLive
 	}
-	return scanResult{live: true}
+	if st == stDead {
+		return stDead
+	}
+	switch n := n.(type) {
+	case *ast.DeferStmt:
+		if tr.isRelease(n.Call) {
+			return stArmed
+		}
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok && tr.releasedIn(lit.Body) {
+			return stArmed
+		}
+		return st
+
+	case *ast.GoStmt:
+		// A goroutine that releases the resource owns it from here;
+		// the synchronization is the author's problem, not ours.
+		if tr.releasedIn(n.Call) {
+			return stDead
+		}
+		return st
+
+	case *ast.ReturnStmt:
+		if tr.mentions(info, n) {
+			// Returning the resource (or its containing struct)
+			// transfers ownership to the caller.
+			return stDead
+		}
+		if st == stLive && report != nil {
+			report(violReturn, n.Pos())
+		}
+		return stDead
+
+	case *ast.AssignStmt:
+		if tr.releasedInShallow(n) {
+			return stDead
+		}
+		if tr.scanAssign(info, n) {
+			return stDead
+		}
+		return st
+
+	default:
+		if tr.releasedInShallow(n) {
+			return stDead
+		}
+		return st
+	}
 }
 
 // scanAssign handles assignments that alias, overwrite, or structurally
@@ -294,148 +358,93 @@ func (tr *tracked) scanAssign(info *types.Info, s *ast.AssignStmt) bool {
 				return true
 			}
 		}
-		// Aliased to another variable: stop tracking.
-		return true
+		// Aliased to another variable: stop tracking. A blank _ lhs
+		// discards the value and aliases nothing, so tracking holds.
+		for _, l := range s.Lhs {
+			if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+				return true
+			}
+		}
+		return false
 	}
 	return false
 }
 
-// scanClauses scans each case body of a switch/select.
-func (tr *tracked) scanClauses(info *types.Info, body *ast.BlockStmt, exhaustive bool) scanResult {
-	anyLive := !exhaustive // a missing default falls through live
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch c := c.(type) {
-		case *ast.CaseClause:
-			stmts = c.Body
-		case *ast.CommClause:
-			stmts = c.Body
-		}
-		res := tr.scanList(info, stmts)
-		if res.violPos.IsValid() {
-			return res
-		}
-		if res.live {
-			anyLive = true
-		}
+// settleViolations runs the dataflow for one tracked resource over one
+// function CFG and returns every violation in block order: returns and
+// loop re-acquisitions first (program order), then the synthetic exit.
+func (tr *tracked) settleViolations(info *types.Info, g *funcCFG) []flowViolation {
+	in := make([]settleState, len(g.blocks))
+	if tr.entryLive {
+		in[g.entry.idx] = stLive
 	}
-	return scanResult{live: anyLive}
-}
 
-func hasDefault(body *ast.BlockStmt) bool {
-	for _, c := range body.List {
-		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
-			return true
+	// Worklist fixpoint, seeded with every block so acquisitions deep in
+	// the graph are discovered even before any state reaches them.
+	inWork := make([]bool, len(g.blocks))
+	work := make([]*cfgBlock, 0, len(g.blocks))
+	for i := len(g.blocks) - 1; i >= 0; i-- {
+		work = append(work, g.blocks[i])
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[b.idx] = false
+		st := in[b.idx]
+		for _, n := range b.nodes {
+			st = tr.transferNode(info, n, st, nil)
 		}
-	}
-	return false
-}
-
-func bodyList(b *ast.BlockStmt) []ast.Stmt {
-	if b == nil {
-		return nil
-	}
-	return b.List
-}
-
-// A listFrame is one enclosing statement list of an acquisition, from
-// the statement after it to the end of the list, plus the construct
-// that owns the list (nil for the function body itself).
-type listFrame struct {
-	list   []ast.Stmt
-	idx    int      // index of the acquisition (or of the enclosing stmt)
-	parent ast.Stmt // loop/if/switch owning this list, nil at function body
-}
-
-// enclosingFrames locates target inside body and returns the chain of
-// enclosing statement lists, innermost first. Function literals are not
-// descended into: each literal is its own analysis scope.
-func enclosingFrames(body *ast.BlockStmt, target ast.Stmt) []listFrame {
-	var find func(list []ast.Stmt, parent ast.Stmt) []listFrame
-	findIn := func(s ast.Stmt, parent ast.Stmt) []listFrame {
-		var sub [][]ast.Stmt
-		switch s := s.(type) {
-		case *ast.BlockStmt:
-			sub = append(sub, s.List)
-		case *ast.IfStmt:
-			sub = append(sub, bodyList(s.Body))
-			if s.Else != nil {
-				sub = append(sub, []ast.Stmt{s.Else})
+		for i, succ := range b.succs {
+			out := st
+			if b.cond != nil && i < 2 {
+				out = tr.refineEdge(info, b.cond, i == 0, out)
 			}
-		case *ast.ForStmt:
-			sub = append(sub, bodyList(s.Body))
-		case *ast.RangeStmt:
-			sub = append(sub, bodyList(s.Body))
-		case *ast.SwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					sub = append(sub, cc.Body)
+			if out > in[succ.idx] {
+				in[succ.idx] = out
+				if !inWork[succ.idx] {
+					inWork[succ.idx] = true
+					work = append(work, succ)
 				}
 			}
-		case *ast.TypeSwitchStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CaseClause); ok {
-					sub = append(sub, cc.Body)
-				}
-			}
-		case *ast.SelectStmt:
-			for _, c := range s.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok {
-					sub = append(sub, cc.Body)
-				}
-			}
-		case *ast.LabeledStmt:
-			sub = append(sub, []ast.Stmt{s.Stmt})
 		}
-		for _, list := range sub {
-			if frames := find(list, parent); frames != nil {
-				return frames
-			}
-		}
-		return nil
 	}
-	find = func(list []ast.Stmt, parent ast.Stmt) []listFrame {
-		for i, s := range list {
-			if s == target {
-				return []listFrame{{list: list, idx: i, parent: parent}}
-			}
-			if frames := findIn(s, s); frames != nil {
-				return append(frames, listFrame{list: list, idx: i, parent: parent})
-			}
-		}
-		return nil
+
+	var viols []flowViolation
+	report := func(k violKind, pos token.Pos) {
+		viols = append(viols, flowViolation{kind: k, pos: pos})
 	}
-	return find(body.List, nil)
+	for _, b := range g.blocks {
+		if b == g.exit {
+			continue
+		}
+		st := in[b.idx]
+		for _, n := range b.nodes {
+			st = tr.transferNode(info, n, st, report)
+		}
+	}
+	if in[g.exit.idx] == stLive {
+		viols = append(viols, flowViolation{kind: violExit, pos: tr.pos})
+	}
+	return viols
 }
 
-// checkSettled verifies the tracked resource is settled on every path
-// out of the scope body and reports violations on pass. It scans the
-// acquisition's own list first, then — if control can fall off the end
-// with the resource live — each enclosing list in turn, since on every
-// path that reaches those outer statements the resource exists.
+// checkSettled verifies the tracked resource acquired at statement
+// `at` is settled on every path out of the scope body, reporting the
+// first violation on pass.
 func checkSettled(pass *Pass, tr *tracked, body *ast.BlockStmt, at ast.Stmt) {
-	frames := enclosingFrames(body, at)
-	if frames == nil {
-		return // acquisition not found at statement level (defensive)
-	}
-	for _, fr := range frames {
-		res := tr.scanList(pass.TypesInfo, fr.list[fr.idx+1:])
-		if res.violPos.IsValid() {
+	tr.acquire = at
+	g := pass.cfgOf(body)
+	for _, v := range tr.settleViolations(pass.TypesInfo, g) {
+		switch v.kind {
+		case violReturn:
 			pass.Reportf(tr.pos, "%s is not released on every path (leaks at %s)",
-				tr.what, pass.Fset.Position(res.violPos))
-			return
-		}
-		if !res.live {
-			return // settled before leaving this list
-		}
-		switch fr.parent.(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			// Falling off the end of a loop iteration with the resource
-			// live loses it: the next iteration re-acquires.
+				tr.what, pass.Fset.Position(v.pos))
+		case violLoop:
 			pass.Reportf(tr.pos, "%s is not released before the end of the loop iteration", tr.what)
-			return
+		case violExit:
+			pass.Reportf(tr.pos, "%s is not released before the function returns", tr.what)
 		}
+		return // one report per acquisition
 	}
-	// Fell off the end of the function body with the resource live.
-	pass.Reportf(tr.pos, "%s is not released before the function returns", tr.what)
 }

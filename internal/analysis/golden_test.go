@@ -30,6 +30,14 @@ func TestCacheimmutableGolden(t *testing.T) {
 	analysistest.Run(t, "../..", "testdata/src/cacheimmutable", analysis.Cacheimmutable)
 }
 
+func TestLockorderGolden(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/lockorder", analysis.Lockorder)
+}
+
+func TestAtomicfieldGolden(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/atomicfield", analysis.Atomicfield)
+}
+
 // TestTreeIsClean runs the full suite over the whole module, the same
 // gate CI applies with cmd/kbtim-lint: the tree must lint clean.
 func TestTreeIsClean(t *testing.T) {
@@ -44,7 +52,7 @@ func TestTreeIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run suite: %v", err)
 	}
-	for _, d := range diags {
+	for _, d := range analysis.Active(diags) {
 		t.Errorf("unsuppressed finding: %s", d)
 	}
 }

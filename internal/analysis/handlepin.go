@@ -100,6 +100,12 @@ func runHandlepinScope(pass *Pass, scope funcScope) {
 		} else {
 			tr.isRelease = cleanupCallMatcher(pass.TypesInfo, obj)
 		}
+		// A release hidden behind a helper counts too: passing the
+		// handle (or cleanup func) to a function whose interprocedural
+		// summary settles that parameter settles it here.
+		if pass.Prog != nil {
+			tr.isRelease = orMatchers(tr.isRelease, pass.Prog.settlesViaCall(pass.TypesInfo, obj))
+		}
 		checkSettled(pass, tr, scope.body, as)
 	})
 }

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -27,21 +28,52 @@ type Package struct {
 }
 
 // A Program is a loaded set of analysis targets plus everything shared
-// across them: the file set, and the //kbtim:cached type markers
-// harvested from every package parsed while resolving imports.
+// across them: the file set, the //kbtim:cached type markers and
+// //kbtim:lockrank field ranks harvested from every package parsed
+// while resolving imports, and the caches backing the CFG engine and
+// the interprocedural settle summaries.
 type Program struct {
 	Fset     *token.FileSet
 	Packages []*Package
 	Markers  map[string]bool
+
+	// LockRanks maps "pkgpath.TypeName.field" to the rank declared with
+	// //kbtim:lockrank <n> on a mutex field. Lower ranks must be
+	// acquired first; see the lockorder analyzer.
+	LockRanks map[string]int
+
+	// All holds every module package type-checked while loading
+	// (analysis targets and their module dependencies), the universe
+	// the interprocedural summaries walk.
+	All []*Package
+
+	cfgs    map[*ast.BlockStmt]*funcCFG
+	decls   map[*types.Func]*funcDecl
+	settled map[settleKey]settleAnswer
+}
+
+// cfgOf returns the memoized CFG for one function body.
+func (prog *Program) cfgOf(body *ast.BlockStmt) *funcCFG {
+	if prog.cfgs == nil {
+		prog.cfgs = make(map[*ast.BlockStmt]*funcCFG)
+	}
+	if g, ok := prog.cfgs[body]; ok {
+		return g
+	}
+	g := buildCFG(body)
+	prog.cfgs[body] = g
+	return g
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
 type listPkg struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	Standard   bool
-	GoFiles    []string
+	ImportPath   string
+	Dir          string
+	Name         string
+	Standard     bool
+	GoFiles      []string
+	TestGoFiles  []string // _test.go files in the package itself
+	XTestGoFiles []string // _test.go files in the external pkg_test package
 }
 
 // goList runs `go list <args>` in dir and decodes the JSON stream.
@@ -74,20 +106,22 @@ func goList(dir string, args ...string) ([]*listPkg, error) {
 // importer cannot resolve main-module paths), with results memoized so
 // every package is checked exactly once per Program.
 type loader struct {
-	fset    *token.FileSet
-	std     types.Importer
-	list    map[string]*listPkg // module (non-Standard) packages by import path
-	pkgs    map[string]*Package // memoized results
-	markers map[string]bool
+	fset      *token.FileSet
+	std       types.Importer
+	list      map[string]*listPkg // module (non-Standard) packages by import path
+	pkgs      map[string]*Package // memoized results
+	markers   map[string]bool
+	lockRanks map[string]int
 }
 
 func newLoader(fset *token.FileSet, universe []*listPkg) *loader {
 	l := &loader{
-		fset:    fset,
-		std:     importer.ForCompiler(fset, "source", nil),
-		list:    make(map[string]*listPkg),
-		pkgs:    make(map[string]*Package),
-		markers: make(map[string]bool),
+		fset:      fset,
+		std:       importer.ForCompiler(fset, "source", nil),
+		list:      make(map[string]*listPkg),
+		pkgs:      make(map[string]*Package),
+		markers:   make(map[string]bool),
+		lockRanks: make(map[string]int),
 	}
 	for _, lp := range universe {
 		if !lp.Standard {
@@ -112,25 +146,65 @@ func (l *loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// check parses and type-checks one module package (memoized).
-func (l *loader) check(lp *listPkg) (*Package, error) {
-	if p, ok := l.pkgs[lp.ImportPath]; ok {
-		return p, nil
-	}
+// parseFiles parses the named files from dir.
+func (l *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
 	var files []*ast.File
-	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
 		files = append(files, f)
 	}
+	return files, nil
+}
+
+// check parses and type-checks one module package (memoized).
+func (l *loader) check(lp *listPkg) (*Package, error) {
+	if p, ok := l.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	files, err := l.parseFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
 	return l.checkFiles(lp.ImportPath, lp.Dir, files)
+}
+
+// checkAugmented type-checks a package's GoFiles plus its in-package
+// _test.go files. The result is deliberately NOT memoized under the
+// import path: every other package must keep resolving the import to
+// the plain (test-free) variant so type identities stay consistent
+// across the program.
+func (l *loader) checkAugmented(lp *listPkg) (*Package, error) {
+	files, err := l.parseFiles(lp.Dir, append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...))
+	if err != nil {
+		return nil, err
+	}
+	saved, had := l.pkgs[lp.ImportPath]
+	p, err := l.checkFiles(lp.ImportPath, lp.Dir, files)
+	if had {
+		l.pkgs[lp.ImportPath] = saved
+	} else {
+		delete(l.pkgs, lp.ImportPath)
+	}
+	return p, err
+}
+
+// checkXTest type-checks a package's external test package
+// (pkg_test) under the import path <path>_test.
+func (l *loader) checkXTest(lp *listPkg) (*Package, error) {
+	files, err := l.parseFiles(lp.Dir, lp.XTestGoFiles)
+	if err != nil {
+		return nil, err
+	}
+	return l.checkFiles(lp.ImportPath+"_test", lp.Dir, files)
 }
 
 // checkFiles type-checks an already-parsed file list as package path.
 func (l *loader) checkFiles(path, dir string, files []*ast.File) (*Package, error) {
 	harvestMarkers(files, path, l.markers)
+	harvestLockRanks(files, path, l.lockRanks)
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -186,9 +260,71 @@ func hasMarker(cg *ast.CommentGroup) bool {
 	return false
 }
 
+// harvestLockRanks records struct fields annotated //kbtim:lockrank <n>
+// (doc comment above the field or line comment after it) as
+// "pkgpath.TypeName.field" → rank.
+func harvestLockRanks(files []*ast.File, pkgPath string, out map[string]int) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					rank, ok := lockRankOf(field.Doc)
+					if !ok {
+						rank, ok = lockRankOf(field.Comment)
+					}
+					if !ok {
+						continue
+					}
+					for _, name := range field.Names {
+						out[pkgPath+"."+ts.Name.Name+"."+name.Name] = rank
+					}
+				}
+			}
+		}
+	}
+}
+
+func lockRankOf(cg *ast.CommentGroup) (int, bool) {
+	if cg == nil {
+		return 0, false
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(text, "kbtim:lockrank")
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		n, err := strconv.Atoi(fields[0])
+		if err == nil {
+			return n, true
+		}
+	}
+	return 0, false
+}
+
 // Load enumerates patterns with the go tool (run in moduleDir) and
 // type-checks every matched module package plus, lazily, every module
-// package they import. Test files are excluded, matching what ships.
+// package they import. Test files are analyzed too: a package with
+// in-package _test.go files is analyzed as the augmented (GoFiles +
+// TestGoFiles) variant, and an external pkg_test package is analyzed
+// as a target of its own under the path "<pkg>_test". Imports always
+// resolve to the plain variant so type identities stay consistent.
 func Load(moduleDir string, patterns ...string) (*Program, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -203,7 +339,7 @@ func Load(moduleDir string, patterns ...string) (*Program, error) {
 	}
 	fset := token.NewFileSet()
 	l := newLoader(fset, universe)
-	prog := &Program{Fset: fset, Markers: l.markers}
+	prog := &Program{Fset: fset, Markers: l.markers, LockRanks: l.lockRanks}
 	for _, lp := range targets {
 		if lp.Standard {
 			continue
@@ -212,8 +348,33 @@ func Load(moduleDir string, patterns ...string) (*Program, error) {
 		if err != nil {
 			return nil, err
 		}
+		prog.All = append(prog.All, p)
+		if len(lp.TestGoFiles) > 0 {
+			if p, err = l.checkAugmented(lp); err != nil {
+				return nil, err
+			}
+		}
 		prog.Packages = append(prog.Packages, p)
+		if len(lp.XTestGoFiles) > 0 {
+			xp, err := l.checkXTest(lp)
+			if err != nil {
+				return nil, err
+			}
+			prog.Packages = append(prog.Packages, xp)
+		}
 	}
+	// Module dependencies pulled in lazily while resolving imports also
+	// belong to the summary universe.
+	seen := make(map[*Package]bool)
+	for _, p := range prog.All {
+		seen[p] = true
+	}
+	for _, p := range l.pkgs {
+		if !seen[p] {
+			prog.All = append(prog.All, p)
+		}
+	}
+	sort.Slice(prog.All, func(i, j int) bool { return prog.All[i].Path < prog.All[j].Path })
 	sort.Slice(prog.Packages, func(i, j int) bool { return prog.Packages[i].Path < prog.Packages[j].Path })
 	return prog, nil
 }
@@ -250,5 +411,10 @@ func LoadDir(moduleDir, dir, importPath string) (*Program, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Program{Fset: fset, Packages: []*Package{p}, Markers: l.markers}, nil
+	prog := &Program{Fset: fset, Packages: []*Package{p}, Markers: l.markers, LockRanks: l.lockRanks}
+	for _, dep := range l.pkgs {
+		prog.All = append(prog.All, dep)
+	}
+	sort.Slice(prog.All, func(i, j int) bool { return prog.All[i].Path < prog.All[j].Path })
+	return prog, nil
 }

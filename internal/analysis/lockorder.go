@@ -1,0 +1,481 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Lockorder machine-checks the locking discipline that today lives in
+// comments (shard.go:68, objcache's rebalance doc):
+//
+//  1. Pairing: every sync.Mutex/RWMutex Lock (RLock) must be paired
+//     with an Unlock (RUnlock) on every path out of the function —
+//     deferred or called before each return — reusing the same CFG
+//     dataflow as handlepin/poolpair.
+//  2. Rank order: mutex fields annotated //kbtim:lockrank <n> form a
+//     partial order; acquiring a lock while holding one of the same or
+//     higher rank is a potential deadlock and is reported.
+//  3. Shard order: per-shard resources (worker-pool slots `sems[i] <-`,
+//     per-shard locks `xs[i].Lock()`) must be acquired in ascending
+//     shard order; descending loops over them and out-of-order
+//     constant-index sequences are reported.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "check Lock/Unlock pairing on all paths, //kbtim:lockrank ordering, and ascending shard acquisition",
+	Run:  runLockorder,
+}
+
+func runLockorder(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, scope := range funcScopes(f) {
+			lockPairScope(pass, scope)
+			lockRankScope(pass, scope)
+			shardOrderScope(pass, scope)
+		}
+	}
+	return nil
+}
+
+// mutexLockCall matches a statement-level m.Lock() / m.RLock() on a
+// sync.Mutex or sync.RWMutex and returns the receiver selector and the
+// method name.
+func mutexLockCall(info *types.Info, call *ast.CallExpr) (*ast.SelectorExpr, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil, ""
+	}
+	if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+		return nil, ""
+	}
+	if !isMutexType(info.Types[sel.X].Type) {
+		return nil, ""
+	}
+	return sel, sel.Sel.Name
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// mutexUnlockMatcher matches <recvStr>.<unlock>() calls.
+func mutexUnlockMatcher(info *types.Info, recvStr, unlock string) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != unlock || len(call.Args) != 0 {
+			return false
+		}
+		return isMutexType(info.Types[sel.X].Type) && types.ExprString(sel.X) == recvStr
+	}
+}
+
+// lockPairScope runs the settle dataflow for every statement-level lock
+// acquisition owned by this scope (function literals are their own
+// scopes: a lock taken in a deferred closure is paired there).
+func lockPairScope(pass *Pass, scope funcScope) {
+	info := pass.TypesInfo
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, lockName := mutexLockCall(info, call)
+		if sel == nil {
+			return true
+		}
+		recvStr := types.ExprString(sel.X)
+		unlock := "Unlock"
+		if lockName == "RLock" {
+			unlock = "RUnlock"
+		}
+		tr := &tracked{
+			pos:       call.Pos(),
+			what:      fmt.Sprintf("%s.%s()", recvStr, lockName),
+			exprStr:   recvStr + "." + lockName, // never an lvalue: assignment semantics stay inert
+			isRelease: mutexUnlockMatcher(info, recvStr, unlock),
+			acquire:   es,
+		}
+		g := pass.cfgOf(scope.body)
+		for _, v := range tr.settleViolations(info, g) {
+			switch v.kind {
+			case violReturn:
+				pass.Reportf(tr.pos, "%s is not unlocked on every path (still held at %s)",
+					tr.what, pass.Fset.Position(v.pos))
+			case violLoop:
+				pass.Reportf(tr.pos, "%s is not unlocked before the next loop iteration locks it again", tr.what)
+			case violExit:
+				pass.Reportf(tr.pos, "%s is not unlocked before the function returns", tr.what)
+			}
+			break // one report per lock site
+		}
+		return true
+	})
+}
+
+// --- rank ordering ---
+
+// rankedFieldKey resolves e (the receiver of a Lock/Unlock call) to a
+// //kbtim:lockrank-annotated struct field, returning its
+// "pkgpath.Type.field" key and rank.
+func rankedFieldKey(pass *Pass, e ast.Expr) (string, int, bool) {
+	if pass.Prog == nil || len(pass.Prog.LockRanks) == 0 {
+		return "", 0, false
+	}
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return "", 0, false
+	}
+	t := selection.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", 0, false
+	}
+	key := named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + selection.Obj().Name()
+	rank, ok := pass.Prog.LockRanks[key]
+	return key, rank, ok
+}
+
+// lockEvent is one ranked lock or unlock inside a CFG node.
+type lockEvent struct {
+	lock bool
+	key  int // index into the scope's ranked-key table
+	pos  token.Pos
+}
+
+// lockRankScope runs a held-set dataflow over the CFG: the state is the
+// set of ranked locks held, joined by union; acquiring a lock while one
+// of the same or higher rank is held is reported. A deferred Unlock
+// intentionally does not clear the held bit — the lock stays held until
+// function exit, and later acquisitions must still rank above it.
+func lockRankScope(pass *Pass, scope funcScope) {
+	if pass.Prog == nil || len(pass.Prog.LockRanks) == 0 {
+		return
+	}
+	keyIdx := make(map[string]int)
+	var keyName []string
+	var keyRank []int
+	intern := func(key string, rank int) int {
+		if i, ok := keyIdx[key]; ok {
+			return i
+		}
+		keyIdx[key] = len(keyName)
+		keyName = append(keyName, key)
+		keyRank = append(keyRank, rank)
+		return len(keyName) - 1
+	}
+	nodeEvents := func(n ast.Node) []lockEvent {
+		var evs []lockEvent
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false // its own scope
+			case *ast.DeferStmt:
+				return false // deferred unlocks keep the lock held here
+			case *ast.BinaryExpr:
+				if x.Op == token.LAND || x.Op == token.LOR {
+					return false // decomposed into separate CFG nodes
+				}
+			case *ast.CallExpr:
+				sel, ok := x.Fun.(*ast.SelectorExpr)
+				if !ok || len(x.Args) != 0 {
+					return true
+				}
+				var lock bool
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					lock = true
+				case "Unlock", "RUnlock":
+				default:
+					return true
+				}
+				if !isMutexType(pass.TypesInfo.Types[sel.X].Type) {
+					return true
+				}
+				if key, rank, ok := rankedFieldKey(pass, sel.X); ok {
+					evs = append(evs, lockEvent{lock: lock, key: intern(key, rank), pos: x.Pos()})
+				}
+			}
+			return true
+		})
+		return evs
+	}
+
+	g := pass.cfgOf(scope.body)
+	events := make(map[ast.Node][]lockEvent)
+	any := false
+	for _, b := range g.blocks {
+		for _, n := range b.nodes {
+			evs := nodeEvents(n)
+			if len(evs) > 0 {
+				events[n] = evs
+				any = true
+			}
+		}
+	}
+	if !any || len(keyName) > 64 {
+		return
+	}
+
+	apply := func(held uint64, n ast.Node, report func(lockEvent, int)) uint64 {
+		for _, ev := range events[n] {
+			if ev.lock {
+				if report != nil {
+					for k := range keyName {
+						if held&(1<<k) != 0 && keyRank[k] >= keyRank[ev.key] {
+							report(ev, k)
+						}
+					}
+				}
+				held |= 1 << ev.key
+			} else {
+				held &^= 1 << ev.key
+			}
+		}
+		return held
+	}
+
+	in := make([]uint64, len(g.blocks))
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.blocks {
+			held := in[b.idx]
+			for _, n := range b.nodes {
+				held = apply(held, n, nil)
+			}
+			for _, succ := range b.succs {
+				if in[succ.idx]|held != in[succ.idx] {
+					in[succ.idx] |= held
+					changed = true
+				}
+			}
+		}
+	}
+	reported := make(map[token.Pos]bool)
+	for _, b := range g.blocks {
+		held := in[b.idx]
+		for _, n := range b.nodes {
+			held = apply(held, n, func(ev lockEvent, heldKey int) {
+				if reported[ev.pos] {
+					return
+				}
+				reported[ev.pos] = true
+				pass.Reportf(ev.pos,
+					"acquiring %s (lockrank %d) while %s (lockrank %d) is held; locks must be acquired in ascending rank order",
+					keyName[ev.key], keyRank[ev.key], keyName[heldKey], keyRank[heldKey])
+			})
+		}
+	}
+}
+
+// --- ascending shard order ---
+
+// indexedAcquisition matches a statement that takes a per-shard
+// resource: a send into an indexed channel (`sems[i] <- x`) or a Lock
+// on an indexed mutex (`xs[i].Lock()`). Returns the index expression
+// and a printable description.
+func indexedAcquisition(info *types.Info, s ast.Stmt) (ast.Expr, string) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		if ix, ok := unparen(s.Chan).(*ast.IndexExpr); ok {
+			return ix.Index, "send to " + types.ExprString(s.Chan)
+		}
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return nil, ""
+		}
+		sel, lockName := mutexLockCall(info, call)
+		if sel == nil {
+			return nil, ""
+		}
+		if ix, ok := unparen(sel.X).(*ast.IndexExpr); ok {
+			return ix.Index, types.ExprString(sel.X) + "." + lockName + "()"
+		}
+	}
+	return nil, ""
+}
+
+// indexedRelease matches the inverse: a receive from an indexed channel
+// (`<-sems[i]`) or an Unlock on an indexed mutex.
+func indexedRelease(info *types.Info, s ast.Stmt) *ast.IndexExpr {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	switch x := unparen(es.X).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			if ix, ok := unparen(x.X).(*ast.IndexExpr); ok {
+				return ix
+			}
+		}
+	case *ast.CallExpr:
+		sel, ok := x.Fun.(*ast.SelectorExpr)
+		if !ok || len(x.Args) != 0 {
+			return nil
+		}
+		if sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock" {
+			return nil
+		}
+		if ix, ok := unparen(sel.X).(*ast.IndexExpr); ok && isMutexType(info.Types[sel.X].Type) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// shardOrderScope applies the two syntactic ascending-order checks: a
+// descending loop acquiring by its loop variable, and a straight-line
+// sequence of constant-index acquisitions on the same base going down.
+func shardOrderScope(pass *Pass, scope funcScope) {
+	info := pass.TypesInfo
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			checkDescendingLoop(pass, n)
+		case *ast.BlockStmt:
+			checkConstIndexOrder(pass, info, n.List)
+		case *ast.CaseClause:
+			checkConstIndexOrder(pass, info, n.Body)
+		case *ast.CommClause:
+			checkConstIndexOrder(pass, info, n.Body)
+		}
+		return true
+	})
+}
+
+// checkDescendingLoop flags `for ...; i-- { sems[i] <- x }` and friends:
+// walking shard resources downward inverts the global acquisition order
+// and can deadlock against a concurrent ascending walker.
+func checkDescendingLoop(pass *Pass, loop *ast.ForStmt) {
+	info := pass.TypesInfo
+	dec, ok := loop.Post.(*ast.IncDecStmt)
+	if !ok || dec.Tok != token.DEC {
+		return
+	}
+	id, ok := dec.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	loopVar := identObj(info, id)
+	if loopVar == nil {
+		return
+	}
+	ast.Inspect(loop.Body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		s, ok := m.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		idx, what := indexedAcquisition(info, s)
+		if idx == nil {
+			return true
+		}
+		if iid, ok := unparen(idx).(*ast.Ident); ok && identObj(info, iid) == loopVar {
+			pass.Reportf(s.Pos(), "%s acquires shard resources in descending order; acquire in ascending shard order (see Sharded.acquire)", what)
+		}
+		return true
+	})
+}
+
+// checkConstIndexOrder walks one straight-line statement list tracking
+// which constant shard indices are held per base expression; acquiring
+// a lower index while a higher one is held inverts the order. Any
+// control-flow statement resets the tracking (conservatively silent).
+func checkConstIndexOrder(pass *Pass, info *types.Info, list []ast.Stmt) {
+	held := make(map[string][]int64) // base expr -> held constant indices
+	constIndex := func(e ast.Expr) (int64, bool) {
+		tv, ok := info.Types[e]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return 0, false
+		}
+		v, ok := constant.Int64Val(tv.Value)
+		return v, ok
+	}
+	baseOf := func(s ast.Stmt, idx ast.Expr) (string, int64, bool) {
+		v, ok := constIndex(idx)
+		if !ok {
+			return "", 0, false
+		}
+		var ix *ast.IndexExpr
+		switch s := s.(type) {
+		case *ast.SendStmt:
+			ix, _ = unparen(s.Chan).(*ast.IndexExpr)
+		case *ast.ExprStmt:
+			if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					ix, _ = unparen(sel.X).(*ast.IndexExpr)
+				}
+			} else if u, ok := unparen(s.X).(*ast.UnaryExpr); ok {
+				ix, _ = unparen(u.X).(*ast.IndexExpr)
+			}
+		}
+		if ix == nil {
+			return "", 0, false
+		}
+		return types.ExprString(ix.X), v, true
+	}
+	for _, s := range list {
+		if idx, what := indexedAcquisition(info, s); idx != nil {
+			if base, v, ok := baseOf(s, idx); ok {
+				for _, h := range held[base] {
+					if h >= v {
+						pass.Reportf(s.Pos(), "%s acquires shard %d while shard %d is held; acquire in ascending shard order (see Sharded.acquire)", what, v, h)
+						break
+					}
+				}
+				held[base] = append(held[base], v)
+			}
+			continue
+		}
+		if ix := indexedRelease(info, s); ix != nil {
+			if base, v, ok := baseOf(s, ix.Index); ok {
+				kept := held[base][:0]
+				for _, h := range held[base] {
+					if h != v {
+						kept = append(kept, h)
+					}
+				}
+				held[base] = kept
+			}
+			continue
+		}
+		switch s.(type) {
+		case *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt,
+			*ast.TypeSwitchStmt, *ast.SelectStmt, *ast.ReturnStmt, *ast.BranchStmt:
+			held = make(map[string][]int64)
+		}
+	}
+}

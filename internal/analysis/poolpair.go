@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Poolpair checks the size-classed scratch pools in internal/pool:
@@ -43,23 +45,102 @@ func runPoolpair(pass *Pass) error {
 
 func runPoolpairScope(pass *Pass, scope funcScope) {
 	info := pass.TypesInfo
+	spools := indexSlicePoolVars(info, scope.body)
 	inspectOwnStmts(scope.body, func(as *ast.AssignStmt) {
 		if len(as.Lhs) != len(as.Rhs) {
 			return
 		}
 		for i, rhs := range as.Rhs {
+			if lit := compositeLitOf(rhs); lit != nil {
+				trackCompositeGets(pass, scope, as, as.Lhs[i], lit)
+				continue
+			}
 			call, get := poolGetCall(info, rhs)
+			if call != nil {
+				tr := trackPoolGet(pass, scope, as.Lhs[i], call, get)
+				if tr == nil {
+					continue
+				}
+				addSettleSummary(pass, tr)
+				checkEscapes(pass, scope, tr)
+				checkSettled(pass, tr, scope.body, as)
+				continue
+			}
+			call, recv := slicePoolGetCall(info, spools, rhs)
 			if call == nil {
 				continue
 			}
-			tr := trackPoolGet(pass, scope, as.Lhs[i], call, get)
+			tr := trackSlicePoolGet(pass, as.Lhs[i], call, recv, spools)
 			if tr == nil {
 				continue
 			}
+			addSettleSummary(pass, tr)
 			checkEscapes(pass, scope, tr)
 			checkSettled(pass, tr, scope.body, as)
 		}
 	})
+}
+
+// addSettleSummary extends an ident-tracked resource's release matcher
+// with the interprocedural summary: passing the slice to a helper whose
+// summary proves it Puts the parameter settles it here too.
+func addSettleSummary(pass *Pass, tr *tracked) {
+	if pass.Prog != nil && tr.obj != nil {
+		tr.isRelease = orMatchers(tr.isRelease, pass.Prog.settlesViaCall(pass.TypesInfo, tr.obj))
+	}
+}
+
+// compositeLitOf unwraps rhs to a keyed composite literal (directly or
+// under a unary &), the shape of batch-struct construction.
+func compositeLitOf(rhs ast.Expr) *ast.CompositeLit {
+	e := unparen(rhs)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = unparen(u.X)
+	}
+	lit, _ := e.(*ast.CompositeLit)
+	return lit
+}
+
+// trackCompositeGets handles pool gets embedded in composite literals:
+//
+//	b := batch{flat: pool.Uint32s(n), off: pool.Ints(m)}
+//
+// Each keyed field holding a get is tracked exactly like an explicit
+// field assignment (b.flat = pool.Uint32s(n)) would be.
+func trackCompositeGets(pass *Pass, scope funcScope, as *ast.AssignStmt, lhs ast.Expr, lit *ast.CompositeLit) {
+	info := pass.TypesInfo
+	baseID, ok := lhs.(*ast.Ident)
+	if !ok || baseID.Name == "_" {
+		return
+	}
+	baseObj := identObj(info, baseID)
+	if baseObj == nil || !declaredIn(baseObj, scope.body) {
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		call, get := poolGetCall(info, kv.Value)
+		if call == nil {
+			continue
+		}
+		expr := baseID.Name + "." + key.Name
+		tr := &tracked{
+			pos:       call.Pos(),
+			what:      fmt.Sprintf("pool.%s slice in %s", get, expr),
+			baseObj:   baseObj,
+			exprStr:   expr,
+			isRelease: poolPutMatcher(info, poolPairs[get], expr, nil, baseObj),
+		}
+		checkEscapes(pass, scope, tr)
+		checkSettled(pass, tr, scope.body, as)
+	}
 }
 
 // poolGetCall unwraps rhs (through parens and re-slicings like
@@ -253,6 +334,144 @@ func markedTypeName(pass *Pass, e ast.Expr) string {
 		return ""
 	}
 	return markedName(pass, tv.Type)
+}
+
+// --- SlicePool method-value support ---
+
+// A slicePoolIndex records, per scope, local bindings of SlicePool
+// method values: g := p.Get and pu := p.Put. Gets made through such a
+// binding (or directly as p.Get(n)) are tracked like package-level pool
+// gets, with the matching Put being p.Put(s) or pu(s) on the same pool.
+type slicePoolIndex struct {
+	gets map[types.Object]string // bound Get method value -> receiver expr
+	puts map[types.Object]string // bound Put method value -> receiver expr
+}
+
+// isSlicePoolType reports (a pointer to) pool.SlicePool[T].
+func isSlicePoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "SlicePool" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/pool")
+}
+
+// indexSlicePoolVars pre-scans one scope for SlicePool method-value
+// bindings.
+func indexSlicePoolVars(info *types.Info, body *ast.BlockStmt) *slicePoolIndex {
+	idx := &slicePoolIndex{
+		gets: make(map[types.Object]string),
+		puts: make(map[types.Object]string),
+	}
+	inspectOwnStmts(body, func(as *ast.AssignStmt) {
+		if len(as.Lhs) != len(as.Rhs) {
+			return
+		}
+		for i, rhs := range as.Rhs {
+			sel, ok := unparen(rhs).(*ast.SelectorExpr)
+			if !ok || !isSlicePoolType(info.Types[sel.X].Type) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := identObj(info, id)
+			if obj == nil {
+				continue
+			}
+			switch sel.Sel.Name {
+			case "Get":
+				idx.gets[obj] = types.ExprString(sel.X)
+			case "Put":
+				idx.puts[obj] = types.ExprString(sel.X)
+			}
+		}
+	})
+	return idx
+}
+
+// slicePoolGetCall unwraps rhs (through parens and re-slicings) to a
+// SlicePool get — p.Get(n) directly, or g(n) through a method value
+// bound earlier in the scope — returning the call and the receiver's
+// canonical expression.
+func slicePoolGetCall(info *types.Info, idx *slicePoolIndex, rhs ast.Expr) (*ast.CallExpr, string) {
+	e := unwrapSlices(rhs)
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Get" && isSlicePoolType(info.Types[fun.X].Type) {
+			return call, types.ExprString(fun.X)
+		}
+	case *ast.Ident:
+		if obj := identObj(info, fun); obj != nil {
+			if recv, ok := idx.gets[obj]; ok {
+				return call, recv
+			}
+		}
+	}
+	return nil, ""
+}
+
+// trackSlicePoolGet builds the tracked resource for one SlicePool get
+// assigned to a plain local ident.
+func trackSlicePoolGet(pass *Pass, lhs ast.Expr, call *ast.CallExpr, recv string, idx *slicePoolIndex) *tracked {
+	info := pass.TypesInfo
+	what := fmt.Sprintf("%s.Get slice", recv)
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if id.Name == "_" {
+		pass.Reportf(id.Pos(), "%s is discarded; %s.Put must be called on it", what, recv)
+		return nil
+	}
+	obj := identObj(info, id)
+	if obj == nil {
+		return nil
+	}
+	return &tracked{
+		pos:       call.Pos(),
+		what:      what,
+		obj:       obj,
+		exprStr:   id.Name,
+		isRelease: slicePoolPutMatcher(info, recv, obj, idx),
+	}
+}
+
+// slicePoolPutMatcher matches recv.Put(s) and pu(s) where pu is a Put
+// method value bound to the same pool.
+func slicePoolPutMatcher(info *types.Info, recv string, obj types.Object, idx *slicePoolIndex) func(*ast.CallExpr) bool {
+	argMatches := func(call *ast.CallExpr) bool {
+		if len(call.Args) != 1 {
+			return false
+		}
+		id, ok := unparen(unwrapSlices(call.Args[0])).(*ast.Ident)
+		return ok && identObj(info, id) == obj
+	}
+	return func(call *ast.CallExpr) bool {
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Put" && isSlicePoolType(info.Types[fun.X].Type) &&
+				types.ExprString(fun.X) == recv && argMatches(call)
+		case *ast.Ident:
+			if o := identObj(info, fun); o != nil {
+				return idx.puts[o] == recv && argMatches(call)
+			}
+		}
+		return false
+	}
 }
 
 // markedName is markedTypeName on a types.Type.

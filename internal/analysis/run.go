@@ -45,13 +45,18 @@ func collectAllows(prog *Program) []allowSite {
 	return sites
 }
 
-// Run applies every analyzer to every package in prog, filters findings
-// through //kbtim:allow suppressions, and returns the survivors sorted
-// by position. A suppression covers diagnostics from the named analyzer
-// on the comment's own line or the line directly below it (i.e. the
-// comment sits on the offending line or immediately above it). Malformed
-// suppressions — a missing reason, or an analyzer name nothing reported
-// under — surface as diagnostics themselves so they cannot rot silently.
+// Run applies every analyzer to every package in prog, matches findings
+// against //kbtim:allow suppressions, and returns everything sorted by
+// position: suppressed findings are returned with Suppressed set (and
+// the allow's reason) rather than dropped, so drivers can emit them
+// mechanically while still exiting clean — filter with Active for the
+// build-failing subset. A suppression covers diagnostics from the named
+// analyzer on the comment's own line or the line directly below it
+// (i.e. the comment sits on the offending line or immediately above
+// it). Malformed or dead suppressions — a missing reason, a name not in
+// the kbtim suite, or an allow that suppressed nothing from an analyzer
+// that ran — surface as diagnostics themselves so they cannot rot
+// silently.
 func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
@@ -63,6 +68,7 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
 				Markers:   prog.Markers,
+				Prog:      prog,
 				report:    func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
@@ -71,18 +77,28 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 
+	// Allows are validated against the full suite, not just the
+	// analyzers selected for this run: `-only handlepin` must not turn
+	// every ctxflow allow into an "unknown analyzer" finding. Unused
+	// detection, conversely, only applies to analyzers that ran.
 	known := make(map[string]bool)
-	for _, a := range analyzers {
+	for _, a := range All() {
 		known[a.Name] = true
+	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
 	}
 	type key struct {
 		analyzer string
 		file     string
 		line     int
 	}
-	allowed := make(map[key]bool)
+	sites := collectAllows(prog)
+	byKey := make(map[key]*allowSite)
 	var kept []Diagnostic
-	for _, s := range collectAllows(prog) {
+	for i := range sites {
+		s := &sites[i]
 		if s.reason == "" {
 			kept = append(kept, Diagnostic{
 				Analyzer: "allow",
@@ -99,14 +115,28 @@ func Run(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
 			})
 			continue
 		}
-		allowed[key{s.analyzer, s.file, s.line}] = true
-		allowed[key{s.analyzer, s.file, s.line + 1}] = true
+		byKey[key{s.analyzer, s.file, s.line}] = s
+		byKey[key{s.analyzer, s.file, s.line + 1}] = s
 	}
+	used := make(map[*allowSite]bool)
 	for _, d := range diags {
-		if allowed[key{d.Analyzer, d.Position.Filename, d.Position.Line}] {
-			continue
+		if s := byKey[key{d.Analyzer, d.Position.Filename, d.Position.Line}]; s != nil {
+			used[s] = true
+			d.Suppressed = true
+			d.SuppressReason = s.reason
 		}
 		kept = append(kept, d)
+	}
+	for i := range sites {
+		s := &sites[i]
+		if s.reason == "" || !known[s.analyzer] || !ran[s.analyzer] || used[s] {
+			continue
+		}
+		kept = append(kept, Diagnostic{
+			Analyzer: "allow",
+			Position: token.Position{Filename: s.file, Line: s.line, Column: 1},
+			Message:  fmt.Sprintf("//kbtim:allow %s suppresses nothing; delete it", s.analyzer),
+		})
 	}
 	sort.Slice(kept, func(i, j int) bool {
 		a, b := kept[i].Position, kept[j].Position

@@ -1,0 +1,237 @@
+package analysis
+
+// Interprocedural settle summaries. The statement-level flow analyses
+// ask one question across function boundaries: does passing the tracked
+// resource to this call settle it? The answer is computed bottom-up and
+// on demand over every package the loader type-checked — for a callee
+// with a body in the module, the callee's idx-th parameter counts as
+// settled when the same CFG dataflow that checks callers proves the
+// parameter is released or ownership-transferred on every path of the
+// callee. Helpers that release behind one more helper work because the
+// summary matcher is itself part of the matcher used while summarizing;
+// recursion is cut by memoizing an in-progress marker that answers
+// "not settled" (the sound direction: a cyclic helper chain gets
+// reported at the caller instead of silently trusted).
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcDecl pairs a function declaration with the package variant it was
+// type-checked in (the variant's Info maps its idents).
+type funcDecl struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+type settleKey struct {
+	fn  *types.Func
+	idx int
+}
+
+type settleAnswer int
+
+const (
+	settleUnknown settleAnswer = iota
+	settleInProgress
+	settleYes
+	settleNo
+)
+
+// declIndex maps every function with a body in the loaded program
+// (module dependencies and analysis targets, including test-augmented
+// variants) to its declaration.
+func (prog *Program) declIndex() map[*types.Func]*funcDecl {
+	if prog.decls != nil {
+		return prog.decls
+	}
+	prog.decls = make(map[*types.Func]*funcDecl)
+	index := func(p *Package) {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := p.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					prog.decls[fn] = &funcDecl{decl: fd, pkg: p}
+				}
+			}
+		}
+	}
+	for _, p := range prog.All {
+		index(p)
+	}
+	for _, p := range prog.Packages {
+		index(p)
+	}
+	return prog.decls
+}
+
+// paramSettled reports whether fn settles (releases, invokes, or
+// transfers ownership of) its idx-th parameter on every path.
+func (prog *Program) paramSettled(fn *types.Func, idx int) bool {
+	if prog == nil || fn == nil || idx < 0 {
+		return false
+	}
+	key := settleKey{fn, idx}
+	if prog.settled == nil {
+		prog.settled = make(map[settleKey]settleAnswer)
+	}
+	switch prog.settled[key] {
+	case settleYes:
+		return true
+	case settleNo, settleInProgress:
+		return false
+	}
+	prog.settled[key] = settleInProgress
+	ok := prog.computeParamSettled(fn, idx)
+	if ok {
+		prog.settled[key] = settleYes
+	} else {
+		prog.settled[key] = settleNo
+	}
+	return ok
+}
+
+func (prog *Program) computeParamSettled(fn *types.Func, idx int) bool {
+	di := prog.declIndex()[fn]
+	if di == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || idx >= sig.Params().Len() {
+		return false
+	}
+	if sig.Variadic() && idx >= sig.Params().Len()-1 {
+		return false // a bundled variadic slice is nobody's obligation
+	}
+	// Locate the idx-th parameter's defining ident in the declaration.
+	var obj types.Object
+	i := 0
+	for _, field := range di.decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if i == idx {
+				obj = di.pkg.TypesInfo.Defs[name]
+			}
+			i++
+		}
+	}
+	if obj == nil || obj.Name() == "_" {
+		return false
+	}
+	matcher := settleMatcher(prog, di.pkg.TypesInfo, obj)
+	if matcher == nil {
+		return false // not a resource-shaped parameter
+	}
+	tr := &tracked{
+		pos:       obj.Pos(),
+		what:      obj.Name(),
+		obj:       obj,
+		exprStr:   obj.Name(),
+		entryLive: true,
+		isRelease: matcher,
+	}
+	g := prog.cfgOf(di.decl.Body)
+	return len(tr.settleViolations(di.pkg.TypesInfo, g)) == 0
+}
+
+// settleMatcher returns the release-call matcher for a resource-shaped
+// parameter — a handle (*T with a release method), a cleanup func
+// (func()), or a pooled slice — or nil for anything else. The summary
+// matcher is included so releases hidden one more call down still count.
+func settleMatcher(prog *Program, info *types.Info, obj types.Object) func(*ast.CallExpr) bool {
+	t := obj.Type()
+	switch {
+	case isCleanupFunc(t):
+		return orMatchers(cleanupCallMatcher(info, obj), prog.settlesViaCall(info, obj))
+	case isHandleType(t):
+		return orMatchers(releaseMethodMatcher(info, obj), prog.settlesViaCall(info, obj))
+	case isPooledSlice(t):
+		return orMatchers(poolPutArgMatcher(info, obj), prog.settlesViaCall(info, obj))
+	}
+	return nil
+}
+
+// settlesViaCall matches calls that pass the tracked object to a
+// function whose summary settles that parameter.
+func (prog *Program) settlesViaCall(info *types.Info, obj types.Object) func(*ast.CallExpr) bool {
+	if prog == nil {
+		return nil
+	}
+	return func(call *ast.CallExpr) bool {
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return false
+		}
+		for i, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && identObj(info, id) == obj {
+				if prog.paramSettled(fn, i) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+func orMatchers(ms ...func(*ast.CallExpr) bool) func(*ast.CallExpr) bool {
+	return func(c *ast.CallExpr) bool {
+		for _, m := range ms {
+			if m != nil && m(c) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// isHandleType reports *T where T has a release method — the shape of
+// the engine's refcounted index handles.
+func isHandleType(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if named.Method(i).Name() == "release" {
+			return true
+		}
+	}
+	return false
+}
+
+func isPooledSlice(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// poolPutArgMatcher matches internal/pool Put calls (package-level
+// PutBools/PutInts/... or the SlicePool.Put method) taking obj.
+func poolPutArgMatcher(info *types.Info, obj types.Object) func(*ast.CallExpr) bool {
+	return func(call *ast.CallExpr) bool {
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/pool") {
+			return false
+		}
+		if !strings.HasPrefix(fn.Name(), "Put") {
+			return false
+		}
+		for _, arg := range call.Args {
+			if id, ok := unparen(arg).(*ast.Ident); ok && identObj(info, id) == obj {
+				return true
+			}
+		}
+		return false
+	}
+}

@@ -1,0 +1,71 @@
+// Package atomicfield is kbtim-lint golden testdata: fields accessed
+// via sync/atomic anywhere in the package must be accessed atomically
+// everywhere, and typed atomic fields must never be copied as values.
+// The // want comments are the expected findings; violations without a
+// want carry a //kbtim:allow suppression instead.
+package atomicfield
+
+import "sync/atomic"
+
+// stats mixes function-style atomic counters with an ordinary field.
+type stats struct {
+	hits   int64
+	misses int64
+	name   string
+}
+
+func (s *stats) hit()  { atomic.AddInt64(&s.hits, 1) }
+func (s *stats) miss() { atomic.AddInt64(&s.misses, 1) }
+
+// snapshot reads hits with a plain load, racing against hit().
+func (s *stats) snapshot() int64 {
+	return s.hits // want "field hits is accessed with sync/atomic elsewhere in this package; this access must be atomic too"
+}
+
+// reset writes misses with a plain store.
+func (s *stats) reset() {
+	s.misses = 0 // want "field misses is accessed with sync/atomic elsewhere in this package"
+}
+
+// okLoad reads atomically, and name — never touched atomically — stays
+// a plain field.
+func (s *stats) okLoad() int64 { return atomic.LoadInt64(&s.hits) }
+func (s *stats) okName() string {
+	return s.name
+}
+
+// newStats seeds the counters before the struct is published; nothing
+// can race with construction.
+func newStats(warm int64) *stats {
+	s := &stats{name: "fresh"}
+	//kbtim:allow atomicfield pre-publication init; no concurrent readers yet
+	s.hits = warm
+	return s
+}
+
+// gauge uses typed atomics.
+type gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// okBump goes through the methods only.
+func (g *gauge) okBump() {
+	v := g.cur.Add(1)
+	if v > g.peak.Load() {
+		g.peak.Store(v)
+	}
+}
+
+// copyTyped returns the atomic by value — a copy of atomic state that
+// detaches from every future update.
+func (g *gauge) copyTyped() atomic.Int64 {
+	return g.cur // want "atomic field cur must not be used as a plain value; call its methods \(Load/Store/Add\) instead"
+}
+
+func observe(v atomic.Int64) int64 { return v.Load() }
+
+// passTyped hands the atomic to a callee by value, same tear.
+func (g *gauge) passTyped() int64 {
+	return observe(g.peak) // want "atomic field peak must not be used as a plain value"
+}

@@ -51,10 +51,20 @@ func dropsInClosure(ctx context.Context, s *store) func() int {
 	}
 }
 
-// query is the sanctioned compatibility wrapper for ctx-less callers.
+// query is the sanctioned compatibility wrapper for ctx-less callers:
+// one delegating call to its own Ctx sibling seeded with a fresh root.
+// The analyzer recognizes the shape structurally; no allow needed.
 func query(s *store) int {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return s.queryCtx(context.Background(), "q")
+}
+
+// almostWrapper delegates to a Ctx sibling but does other work first —
+// not the sanctioned shape, so the ban applies and an allow with a
+// reason is the only way to keep it.
+func almostWrapper(s *store) int {
+	n := lookup("pre")
+	//kbtim:allow ctxflow detached maintenance probe; no caller deadline exists
+	return n + s.queryCtx(context.Background(), "q")
 }
 
 // threads does it right.

@@ -1,0 +1,15 @@
+// Test files are exempt from the Background/TODO ban — a test function
+// is its own root caller, so minting a root context is correct. The
+// dropped-ctx check still applies: once a test holds a ctx, it must
+// thread it.
+package ctxflow
+
+import "context"
+
+func rootInTest(s *store) int {
+	return s.queryCtx(context.Background(), "q")
+}
+
+func dropsInTest(ctx context.Context, s *store) int {
+	return s.query("q") // want "call to query drops the ctx"
+}

@@ -1,0 +1,148 @@
+// Package lockorder is kbtim-lint golden testdata: Lock/Unlock pairing
+// on every path, //kbtim:lockrank ordering, and ascending shard
+// acquisition. The // want comments are the expected findings;
+// violations without a want carry a //kbtim:allow suppression instead.
+package lockorder
+
+import "sync"
+
+// counter's mutex is unranked: it exercises the pure pairing check.
+type counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// cache mirrors objcache's two-level hierarchy: the rebalance lock
+// ranks below the per-shard locks, so rebalMu → shard.mu nesting is
+// legal and the inverse deadlocks.
+type cache struct {
+	rebalMu sync.Mutex //kbtim:lockrank 10
+	shards  []*shard
+}
+
+type shard struct {
+	mu sync.Mutex //kbtim:lockrank 20
+	n  int
+}
+
+// eng mirrors Sharded: per-shard semaphore slots and per-shard locks
+// acquired by index.
+type eng struct {
+	sems  []chan struct{}
+	locks []sync.Mutex
+}
+
+// leakLock returns early with the lock still held.
+func (c *counter) leakLock(fail bool) int {
+	c.mu.Lock() // want "c.mu.Lock\(\) is not unlocked on every path"
+	if fail {
+		return 0
+	}
+	c.mu.Unlock()
+	return c.n
+}
+
+// holdForever falls off the end still holding the read lock.
+func (c *counter) holdForever() {
+	c.mu.RLock() // want "c.mu.RLock\(\) is not unlocked before the function returns"
+	sink(c.n)
+}
+
+func sink(int) {}
+
+// relockLoop re-locks on the next iteration when the continue path
+// skips the unlock.
+func relockLoop(cs []*counter) {
+	for _, c := range cs {
+		c.mu.Lock() // want "c.mu.Lock\(\) is not unlocked before the next loop iteration locks it again"
+		if c.n == 0 {
+			continue
+		}
+		c.mu.Unlock()
+	}
+}
+
+// okPairing covers the sanctioned shapes: deferred unlock, and an
+// explicit unlock on every branch.
+func (c *counter) okPairing(fail bool) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if fail {
+		return 0
+	}
+	return c.n
+}
+
+func (c *counter) okBranches(fail bool) int {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// okRebalance nests in ascending rank order: rebalMu (10) first, each
+// shard lock (20) inside it.
+func (c *cache) okRebalance() {
+	c.rebalMu.Lock()
+	defer c.rebalMu.Unlock()
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.n = 0
+		s.mu.Unlock()
+	}
+}
+
+// inverted takes the low-rank rebalance lock while a shard lock is
+// held — the deadlock mirror image of okRebalance.
+func (c *cache) inverted(s *shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.rebalMu.Lock() // want "acquiring kbtim/lintdata/lockorder.cache.rebalMu \(lockrank 10\) while kbtim/lintdata/lockorder.shard.mu \(lockrank 20\) is held"
+	c.rebalMu.Unlock()
+}
+
+// descendingLocks walks the per-shard locks downward, inverting the
+// global acquisition order against a concurrent ascending walker.
+func (e *eng) descendingLocks() {
+	for i := len(e.locks) - 1; i >= 0; i-- {
+		e.locks[i].Lock() // want "e.locks\[i\].Lock\(\) acquires shard resources in descending order"
+		e.locks[i].Unlock()
+	}
+}
+
+// descendingSems does the same with semaphore slots.
+func (e *eng) descendingSems() {
+	for i := len(e.sems) - 1; i >= 0; i-- {
+		e.sems[i] <- struct{}{} // want "send to e.sems\[i\] acquires shard resources in descending order"
+	}
+}
+
+// constOrder grabs slot 1 while still holding slot 2.
+func (e *eng) constOrder() {
+	e.sems[2] <- struct{}{}
+	e.sems[1] <- struct{}{} // want "acquires shard 1 while shard 2 is held"
+	<-e.sems[1]
+	<-e.sems[2]
+}
+
+// okAscending is the Sharded.acquire shape: slots taken in index order.
+func (e *eng) okAscending() {
+	for i := 0; i < len(e.sems); i++ {
+		e.sems[i] <- struct{}{}
+	}
+	for i := 0; i < len(e.sems); i++ {
+		<-e.sems[i]
+	}
+}
+
+// drainHold hands the locked counter to a drain goroutine that unlocks
+// it, the one sanctioned cross-function unlock.
+func (c *counter) drainHold() {
+	//kbtim:allow lockorder handed to the drain goroutine which unlocks it
+	c.mu.Lock()
+	c.n = 0
+}

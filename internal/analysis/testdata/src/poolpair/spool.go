@@ -1,0 +1,97 @@
+// Gets hidden in composite literals and gets made through SlicePool
+// method values — the two acquisition forms the old assignment-only
+// scanner missed — plus helper-settled slices that need the
+// interprocedural summary.
+package poolpair
+
+import "kbtim/internal/pool"
+
+// scores is a package-level typed pool, the rrindex scratch idiom.
+var scores pool.SlicePool[float64]
+
+// finish is the helper hiding the Put; its summary settles the
+// parameter.
+func finish(s []int) int {
+	n := sum(s)
+	pool.PutInts(s)
+	return n
+}
+
+// leakComposite builds the batch in one literal; the early return still
+// leaks the pooled field.
+func leakComposite(n int) (*batch, error) {
+	b := &batch{
+		flat: pool.Uint32s(n), // want "pool.Uint32s slice in b.flat is not released on every path"
+	}
+	if cond() {
+		return nil, errEarly
+	}
+	return b, nil
+}
+
+// okComposite pairs the literal's get with the struct's release method.
+func okComposite(n int) int {
+	b := &batch{flat: pool.Uint32s(n)}
+	defer b.release()
+	return len(b.flat)
+}
+
+// leakSlicePoolMethodValue gets through a bound method value and drops
+// the slice on the early return.
+func leakSlicePoolMethodValue(n int) float64 {
+	get := scores.Get
+	s := get(n) // want "scores.Get slice is not released on every path"
+	if cond() {
+		return 0
+	}
+	scores.Put(s)
+	return s[0]
+}
+
+// leakSlicePoolDirect gets directly and falls off the end still holding
+// the slice.
+func leakSlicePoolDirect(n int) {
+	s := scores.Get(n) // want "scores.Get slice is not released before the function returns"
+	sinkF(s)
+}
+
+// okSlicePoolMethodValues pairs a bound Get with a bound Put.
+func okSlicePoolMethodValues(n int) float64 {
+	get, put := scores.Get, scores.Put
+	s := get(n)
+	defer put(s)
+	return s[0]
+}
+
+// okSlicePoolBranches puts explicitly on every path.
+func okSlicePoolBranches(n int) (float64, error) {
+	s := scores.Get(n)
+	if cond() {
+		scores.Put(s)
+		return 0, errEarly
+	}
+	v := s[0]
+	scores.Put(s)
+	return v, nil
+}
+
+// okHelperPut settles through finish; only the interprocedural summary
+// can prove this.
+func okHelperPut(n int) int {
+	s := pool.Ints(n)
+	if cond() {
+		pool.PutInts(s)
+		return 0
+	}
+	return finish(s)
+}
+
+func sinkF(s []float64) {}
+
+// retainedSlicePool intentionally keeps the warmup scratch live past
+// the return; the surrounding machinery puts it back later.
+func retainedSlicePool(n int) {
+	//kbtim:allow poolpair warmup scratch; finishScores puts it back
+	s := scores.Get(n)
+	sinkF(s)
+}

@@ -152,7 +152,7 @@ type indexEntry struct {
 type Env struct {
 	Cfg Config
 
-	mu       sync.Mutex
+	mu       sync.Mutex //kbtim:lockrank 60
 	dir      string
 	datasets map[string]*dataset
 	indexes  map[indexKey]*indexEntry

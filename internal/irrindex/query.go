@@ -456,7 +456,6 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 // returns exactly the seeds, marginals, and spread a single full index
 // would. The reported IO is the sum over the involved indexes' scopes.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return QueryMultiCtx(context.Background(), owner, q)
 }
 

@@ -151,7 +151,7 @@ type flight struct {
 type shard struct {
 	budget int64
 
-	mu         sync.Mutex
+	mu         sync.Mutex //kbtim:lockrank 20
 	ll         *list.List // front = most recently used
 	entries    map[Key]*list.Element
 	flights    map[Key]*flight
@@ -176,7 +176,7 @@ type Cache struct {
 	hasTargets atomic.Bool
 	missTick   atomic.Int64
 
-	rebalMu  sync.Mutex
+	rebalMu  sync.Mutex //kbtim:lockrank 10
 	lastHits [maxRegions]int64
 }
 

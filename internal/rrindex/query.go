@@ -343,7 +343,6 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 // index reads through its own per-query I/O scope; the reported IO is their
 // sum.
 func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return QueryMultiCtx(context.Background(), owner, q)
 }
 

@@ -259,7 +259,6 @@ func (s *Sharded) acquire(ctx context.Context, shards []int) (func(), error) {
 // owns every topic, exact scatter-gather merge otherwise. Results are
 // identical to a single-engine deployment over the full index.
 func (s *Sharded) QueryRR(q Query) (*Result, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return s.QueryRRCtx(context.Background(), q)
 }
 
@@ -307,7 +306,6 @@ func (s *Sharded) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 // QueryIRR answers q from the shards' IRR indexes; routing and parity
 // semantics match QueryRR's.
 func (s *Sharded) QueryIRR(q Query) (*Result, error) {
-	//kbtim:allow ctxflow compatibility wrapper for ctx-less callers
 	return s.QueryIRRCtx(context.Background(), q)
 }
 
