@@ -1,0 +1,164 @@
+package main
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// breakerConfig tunes the per-backend circuit breakers.
+type breakerConfig struct {
+	// failures is the consecutive-failure count that opens the breaker.
+	failures int
+	// minBackoff is the delay before the first half-open re-probe of an
+	// open breaker; each failed probe doubles it up to maxBackoff. A jitter
+	// of up to half the current backoff is added so a fleet of routers does
+	// not re-probe a recovering backend in lockstep.
+	minBackoff time.Duration
+	maxBackoff time.Duration
+}
+
+func defaultBreakerConfig() breakerConfig {
+	return breakerConfig{failures: 3, minBackoff: 250 * time.Millisecond, maxBackoff: 5 * time.Second}
+}
+
+// Breaker states, in the classic circuit-breaker vocabulary: closed =
+// traffic flows, open = recent failures, skip this backend, half-open = a
+// re-probe is deciding whether to close again.
+const (
+	breakerClosed   = "closed"
+	breakerOpen     = "open"
+	breakerHalfOpen = "half-open"
+)
+
+// breaker is one backend's health gate, driven from both directions: PASSIVE
+// observation of real traffic (every proxied query and artifact fetch
+// reports its outcome; a run of consecutive failures opens the breaker) and
+// the ACTIVE background re-probe loop (an open breaker is re-probed with
+// exponential backoff + jitter and closes on a successful probe). While
+// open, the routing layers skip the backend — queries fail over to a
+// surviving replica instead of paying a timeout per request.
+type breaker struct {
+	mu        sync.Mutex
+	consec    int  // consecutive failures since the last success
+	open      bool // breaker tripped: skip this backend
+	probing   bool // a half-open re-probe is in flight
+	backoff   time.Duration
+	nextProbe time.Time // earliest time the next re-probe may start
+	trips     int64     // times the breaker opened (cumulative, for /stats)
+}
+
+// allow reports whether traffic should be routed to this backend.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !b.open
+}
+
+// state returns the /stats spelling of the breaker's position.
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.probing:
+		return breakerHalfOpen
+	case b.open:
+		return breakerOpen
+	default:
+		return breakerClosed
+	}
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// success records a successful round trip. mayClose=true closes an open
+// breaker on the spot (real traffic succeeding is at least as good a signal
+// as a probe); the router passes false for a replica that still owes a
+// directory validation, whose re-admission must go through the probe loop.
+func (b *breaker) success(mayClose bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec = 0
+	if mayClose {
+		b.open = false
+		b.probing = false
+	}
+}
+
+// failure records a failed round trip; cfg.failures consecutive ones open
+// the breaker. Returns true when this call tripped it.
+func (b *breaker) failure(now time.Time, cfg breakerConfig) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	if b.open || b.consec < cfg.failures {
+		return false
+	}
+	b.trip(now, cfg)
+	return true
+}
+
+// forceOpen opens the breaker immediately — the "down at startup" path,
+// where waiting for cfg.failures observed errors would route real queries at
+// a backend already known to be unreachable.
+func (b *breaker) forceOpen(now time.Time, cfg breakerConfig) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		b.trip(now, cfg)
+	}
+}
+
+// trip transitions to open. Caller holds b.mu.
+func (b *breaker) trip(now time.Time, cfg breakerConfig) {
+	b.open = true
+	b.probing = false
+	b.trips++
+	b.backoff = cfg.minBackoff
+	b.nextProbe = now.Add(jitter(cfg.minBackoff))
+}
+
+// beginProbe test-and-sets the half-open state: it returns true when the
+// breaker is open, due for a re-probe, and no probe is already in flight —
+// the caller then owns running exactly one probe and reporting it through
+// probeResult.
+func (b *breaker) beginProbe(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open || b.probing || now.Before(b.nextProbe) {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+// probeResult resolves a beginProbe: success closes the breaker, failure
+// doubles the backoff (capped) and schedules the next probe with jitter.
+func (b *breaker) probeResult(ok bool, now time.Time, cfg breakerConfig) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.open = false
+		b.consec = 0
+		return
+	}
+	b.backoff *= 2
+	if b.backoff > cfg.maxBackoff {
+		b.backoff = cfg.maxBackoff
+	}
+	b.nextProbe = now.Add(jitter(b.backoff))
+}
+
+// jitter spreads d into [d, 1.5d) so concurrent routers desynchronize.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d + rand.N(d/2+1)
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{failures: 3, minBackoff: 100 * time.Millisecond, maxBackoff: 400 * time.Millisecond}
+}
+
+// TestBreakerTripsOnConsecutiveFailures: only an unbroken run of failures
+// opens the breaker — a success in between resets the count.
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	cfg := testBreakerConfig()
+	now := time.Now()
+	var b breaker
+	if !b.allow() || b.state() != breakerClosed {
+		t.Fatalf("fresh breaker: allow=%v state=%q", b.allow(), b.state())
+	}
+	b.failure(now, cfg)
+	b.failure(now, cfg)
+	b.success(true) // resets the run
+	b.failure(now, cfg)
+	if b.failure(now, cfg) {
+		t.Fatal("tripped after an interrupted run of failures")
+	}
+	if !b.allow() {
+		t.Fatal("breaker open before the threshold")
+	}
+	if !b.failure(now, cfg) {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.allow() || b.state() != breakerOpen {
+		t.Fatalf("after trip: allow=%v state=%q", b.allow(), b.state())
+	}
+	if b.tripCount() != 1 {
+		t.Fatalf("trips = %d, want 1", b.tripCount())
+	}
+}
+
+// TestBreakerSuccessGating: a success may close an open breaker only when
+// the caller says so (mayClose=false is the unvalidated-replica path, whose
+// re-admission must go through the probe loop).
+func TestBreakerSuccessGating(t *testing.T) {
+	cfg := testBreakerConfig()
+	now := time.Now()
+	var b breaker
+	b.forceOpen(now, cfg)
+	if b.allow() {
+		t.Fatal("forceOpen did not open")
+	}
+	b.forceOpen(now, cfg) // idempotent: no second trip
+	if b.tripCount() != 1 {
+		t.Fatalf("trips = %d after double forceOpen, want 1", b.tripCount())
+	}
+	b.success(false)
+	if b.allow() {
+		t.Fatal("success(mayClose=false) closed an open breaker")
+	}
+	b.success(true)
+	if !b.allow() || b.state() != breakerClosed {
+		t.Fatalf("success(mayClose=true) left allow=%v state=%q", b.allow(), b.state())
+	}
+}
+
+// TestBreakerProbeLifecycle: beginProbe is a test-and-set gated on the
+// backoff schedule; a failed probe doubles the backoff up to the cap, a
+// successful one closes.
+func TestBreakerProbeLifecycle(t *testing.T) {
+	cfg := testBreakerConfig()
+	now := time.Now()
+	var b breaker
+	if b.beginProbe(now.Add(time.Hour)) {
+		t.Fatal("probed a closed breaker")
+	}
+	b.forceOpen(now, cfg)
+	if b.beginProbe(now) {
+		t.Fatal("probe began before the backoff elapsed (jitter >= minBackoff)")
+	}
+	due := now.Add(time.Hour)
+	if !b.beginProbe(due) {
+		t.Fatal("overdue probe refused")
+	}
+	if b.state() != breakerHalfOpen {
+		t.Fatalf("state during probe = %q, want half-open", b.state())
+	}
+	if b.beginProbe(due) {
+		t.Fatal("second concurrent probe allowed")
+	}
+	b.probeResult(false, due, cfg)
+	if b.allow() || b.state() != breakerOpen {
+		t.Fatal("failed probe closed the breaker")
+	}
+	if b.backoff != 200*time.Millisecond {
+		t.Fatalf("backoff after one failed probe = %v, want doubled 200ms", b.backoff)
+	}
+	due = due.Add(time.Hour)
+	for i := 0; i < 3; i++ { // 400, cap, cap
+		if !b.beginProbe(due) {
+			t.Fatalf("probe %d refused", i)
+		}
+		b.probeResult(false, due, cfg)
+		due = due.Add(time.Hour)
+	}
+	if b.backoff != cfg.maxBackoff {
+		t.Fatalf("backoff = %v, want capped at %v", b.backoff, cfg.maxBackoff)
+	}
+	if !b.beginProbe(due) {
+		t.Fatal("probe refused after cap")
+	}
+	b.probeResult(true, due, cfg)
+	if !b.allow() || b.state() != breakerClosed {
+		t.Fatalf("successful probe left allow=%v state=%q", b.allow(), b.state())
+	}
+}
+
+// TestJitterBounds: jitter(d) spreads into [d, 1.5d] — never earlier than
+// the base delay, never more than half again as late.
+func TestJitterBounds(t *testing.T) {
+	const d = 100 * time.Millisecond
+	for i := 0; i < 200; i++ {
+		j := jitter(d)
+		if j < d || j > d+d/2 {
+			t.Fatalf("jitter(%v) = %v outside [d, 1.5d]", d, j)
+		}
+	}
+	if jitter(0) != 0 {
+		t.Fatalf("jitter(0) = %v", jitter(0))
+	}
+}

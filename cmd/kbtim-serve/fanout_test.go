@@ -61,10 +61,21 @@ func startRouterCluster(t *testing.T) *routerCluster {
 		c.nodes = append(c.nodes, node)
 		urls = append(urls, node.URL)
 	}
-	c.fo, err = openFanout(urls, kbtim.ShardHash, 1<<20, 0, 2, 30*time.Second)
+	groups := make([][]string, len(urls))
+	for i, u := range urls {
+		groups[i] = []string{u}
+	}
+	cfg := defaultFanoutConfig()
+	cfg.mode = kbtim.ShardHash
+	cfg.decBudget = 1 << 20
+	cfg.queryPar = 2
+	cfg.proxyTimeout = 30 * time.Second
+	cfg.noProbeLoop = true // tests drive reprobeOnce by hand where they need recovery
+	c.fo, err = openFanout(groups, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { c.fo.Close() })
 	c.router = httptest.NewServer(NewServer(c.fo, 4).Handler())
 	t.Cleanup(c.router.Close)
 	return c
@@ -120,7 +131,7 @@ func TestRouterThreeWayParity(t *testing.T) {
 			c.fo.proxCnt.Load(), c.fo.scatCnt.Load())
 	}
 	for i, n := range c.fo.nodes {
-		if n.queries.Load() == 0 {
+		if n.proxied.Load()+n.client.Stats().Fetches == 0 {
 			t.Fatalf("backend %d never participated in a query", i)
 		}
 	}
@@ -154,6 +165,15 @@ func TestRouterStatsAndHealth(t *testing.T) {
 		if !b.Healthy {
 			t.Fatalf("backend %d (%s) reported unhealthy", i, b.URL)
 		}
+		if b.Breaker != breakerClosed {
+			t.Fatalf("backend %d breaker = %q, want closed", i, b.Breaker)
+		}
+		if !b.Validated {
+			t.Fatalf("backend %d not validated despite being up at open", i)
+		}
+		if b.Shard != i {
+			t.Fatalf("backend %d reports shard %d", i, b.Shard)
+		}
 		if b.Stats == nil {
 			t.Fatalf("backend %d stats not embedded", i)
 		}
@@ -161,8 +181,16 @@ func TestRouterStatsAndHealth(t *testing.T) {
 	if stats.Router.Proxied+stats.Router.Scattered == 0 {
 		t.Fatal("router counted no traffic")
 	}
+	if stats.Router.Retries != 0 || stats.Router.Failovers != 0 || stats.Router.Degraded != 0 {
+		t.Fatalf("healthy cluster reports retries=%d failovers=%d degraded=%d, want zeros",
+			stats.Router.Retries, stats.Router.Failovers, stats.Router.Degraded)
+	}
 	if got := stats.Router.ProxyTimeoutSec; got != 30 {
 		t.Fatalf("proxy_timeout_sec = %v, want the configured 30", got)
+	}
+	if stats.Router.HealthTTLSec != 2 || stats.Router.ProbeTimeoutSec != 2 {
+		t.Fatalf("health_ttl_sec=%v probe_timeout_sec=%v, want the configured 2s defaults",
+			stats.Router.HealthTTLSec, stats.Router.ProbeTimeoutSec)
 	}
 
 	if resp, err = http.Get(c.router.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {

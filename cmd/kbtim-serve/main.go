@@ -21,15 +21,20 @@
 //	            -shards 4 -shard-mode hash -workers 8 -decoded-cache-mb 256
 //
 // Router mode scales the same contract across PROCESSES: a fan-out router
-// in front of N kbtim-serve nodes, node i serving shard i's index files.
-// Queries whose topics co-locate on one node are proxied whole to it;
-// spanning queries run the exact scatter-gather merge locally with every
-// keyword's artifact fetch going to its owning node over the versioned
-// /internal/artifact protocol (results stay bit-identical to one engine —
-// see DESIGN.md §6.2). The -decoded-cache-mb budget becomes the router-side
-// artifact cache, split across backends:
+// in front of N replica GROUPS of kbtim-serve nodes, every replica of group
+// i serving shard i's index files (comma separates shards, | separates
+// replicas of one shard). Queries whose topics co-locate on one group are
+// proxied whole to a healthy replica of it; spanning queries run the exact
+// scatter-gather merge locally with every keyword's artifact fetch going to
+// its owning group over the versioned /internal/artifact protocol (results
+// stay bit-identical to one engine — see DESIGN.md §6.2). Per-replica
+// circuit breakers feed on both passive traffic outcomes and the /healthz
+// probe loop; failed proxies and artifact fetches retry on a surviving
+// replica, and a backend that is down at startup joins the rotation when it
+// comes back (see DESIGN.md §6.3). The -decoded-cache-mb budget becomes the
+// router-side artifact cache, split across shards:
 //
-//	kbtim-serve -router -backends host1:8080,host2:8080 \
+//	kbtim-serve -router -backends 'h1:8080|h1b:8080,h2:8080|h2b:8080' \
 //	            -shard-mode hash -addr :9090 -decoded-cache-mb 256
 //
 // Endpoints:
@@ -38,7 +43,8 @@
 //	GET  /keywords queryable topic IDs (union across shards)
 //	GET  /stats    pool, latency, and cache counters (+ per-shard and
 //	               per-backend router sections)
-//	GET  /healthz  liveness (a router is healthy only if every backend is)
+//	GET  /healthz  liveness (a router is healthy while every shard keeps
+//	               >= 1 healthy replica)
 //	GET  /internal/artifact  raw index artifacts for routers (serve mode)
 //
 // The server shuts down gracefully: SIGINT/SIGTERM stops accepting new
@@ -94,8 +100,10 @@ func run(args []string) error {
 		queryPar    = fs.Int("query-parallelism", 2, "per-query artifact-load parallelism (<=1 = sequential)")
 		drain       = fs.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight queries")
 		routerMode  = fs.Bool("router", false, "run as a cross-node fan-out router over -backends (no local indexes)")
-		backends    = fs.String("backends", "", "comma-separated backend base URLs; backend i owns shard i's keywords (router mode)")
+		backends    = fs.String("backends", "", "backend base URLs: comma-separated shards, |-separated replicas of a shard (\"h1|h1b,h2|h2b\"); group i owns shard i's keywords (router mode)")
 		proxyTO     = fs.Duration("proxy-timeout", 30*time.Second, "per-call deadline for router→backend opens and proxied queries (router mode)")
+		healthTTL   = fs.Duration("health-ttl", 2*time.Second, "how long a backend /healthz verdict is cached before re-probing (router mode)")
+		probeTO     = fs.Duration("probe-timeout", 2*time.Second, "per-probe deadline for backend /healthz round trips (router mode)")
 		model       = fs.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = fs.Int("K", 100, "system cap on Q.k")
@@ -145,14 +153,27 @@ func run(args []string) error {
 	}
 	var be backend
 	if *routerMode {
-		urls := splitBackends(*backends)
-		fo, err := openFanout(urls, kbtim.ShardMode(*shardMode), (int64(*decodedMB)<<20)/int64(max(len(urls), 1)), *cacheShards, *queryPar, *proxyTO)
+		groups := splitBackends(*backends)
+		cfg := defaultFanoutConfig()
+		cfg.mode = kbtim.ShardMode(*shardMode)
+		cfg.decBudget = (int64(*decodedMB) << 20) / int64(max(len(groups), 1))
+		cfg.cacheShards = *cacheShards
+		cfg.queryPar = *queryPar
+		cfg.proxyTimeout = *proxyTO
+		cfg.healthTTL = *healthTTL
+		cfg.probeTimeout = *probeTO
+		fo, err := openFanout(groups, cfg)
 		if err != nil {
 			return err
 		}
+		defer fo.Close()
 		be = fo
-		fmt.Printf("kbtim-serve: routing on %s over %d backends [%s], %d workers, %d MiB decoded artifact cache split across backends\n",
-			*addr, len(urls), *shardMode, pool, *decodedMB)
+		nreps := 0
+		for _, g := range groups {
+			nreps += len(g)
+		}
+		fmt.Printf("kbtim-serve: routing on %s over %d shards / %d replicas [%s], %d workers, %d MiB decoded artifact cache split across shards\n",
+			*addr, len(groups), nreps, *shardMode, pool, *decodedMB)
 	} else {
 		if *rrPath == "" && *irrPath == "" {
 			return errors.New("serve mode needs -rr and/or -irr (or use -drive / -router)")

@@ -186,14 +186,24 @@ type shardJSON struct {
 	IRRDecoded decodedCacheJSON `json:"irr_decoded_cache"`
 }
 
-// routerBackendJSON is one downstream node's slice of the router section.
+// routerBackendJSON is one downstream replica's slice of the router section.
 type routerBackendJSON struct {
 	URL string `json:"url"`
-	// Healthy is the node's live /healthz verdict at stats time.
+	// Shard is the replica group this node belongs to.
+	Shard int `json:"shard"`
+	// Healthy is the node's live /healthz verdict at stats time (false
+	// without a probe when its breaker is open).
 	Healthy bool `json:"healthy"`
-	// Queries counts queries this node participated in (proxied whole OR
-	// touched by a scatter), Proxied the whole-query fast-path subset.
-	Queries int64 `json:"queries"`
+	// Breaker is the node's circuit-breaker state: "closed" (traffic
+	// flows), "open" (skipped, awaiting re-probe), or "half-open" (a
+	// re-probe is in flight). BreakerTrips counts how many times it opened.
+	Breaker      string `json:"breaker"`
+	BreakerTrips int64  `json:"breaker_trips"`
+	// Validated reports that the replica's index preludes were checked
+	// byte-identical to its group; false means it was down at startup and
+	// has not yet passed the re-admission probe.
+	Validated bool `json:"validated"`
+	// Proxied counts whole queries this replica answered on the fast path.
 	Proxied int64 `json:"proxied"`
 	// ArtifactFetches/WireBytes are the cumulative artifact traffic the
 	// router pulled from this node for spanning queries.
@@ -205,17 +215,27 @@ type routerBackendJSON struct {
 }
 
 // routerStatsJSON is the /stats router section: the fan-out picture plus
-// each downstream node's own counters, so one scrape sees the whole
+// each downstream replica's own counters, so one scrape sees the whole
 // deployment.
 type routerStatsJSON struct {
 	Mode string `json:"mode"`
 	// ProxyTimeoutSec is the configured -proxy-timeout bound on every
 	// router→backend query call, surfaced so a scrape can tell how long a
-	// slow backend is allowed to stall the router.
-	ProxyTimeoutSec float64             `json:"proxy_timeout_sec"`
-	Proxied         int64               `json:"proxied"`
-	Scattered       int64               `json:"scattered"`
-	Backends        []routerBackendJSON `json:"backends"`
+	// slow backend is allowed to stall the router. HealthTTLSec and
+	// ProbeTimeoutSec mirror -health-ttl and -probe-timeout.
+	ProxyTimeoutSec float64 `json:"proxy_timeout_sec"`
+	HealthTTLSec    float64 `json:"health_ttl_sec"`
+	ProbeTimeoutSec float64 `json:"probe_timeout_sec"`
+	Proxied         int64   `json:"proxied"`
+	Scattered       int64   `json:"scattered"`
+	// Retries counts failed router→backend attempts (proxied queries and
+	// artifact fetches) that were re-issued to another replica; Failovers
+	// counts requests that then SUCCEEDED on a non-first replica. Degraded
+	// is the number of replicas currently behind an open breaker.
+	Retries   int64               `json:"retries"`
+	Failovers int64               `json:"failovers"`
+	Degraded  int                 `json:"degraded"`
+	Backends  []routerBackendJSON `json:"backends"`
 }
 
 // statsResponse is the GET /stats reply. The cache sections aggregate over

@@ -238,7 +238,9 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 		srv := httptest.NewServer(mux)
 		defer srv.Close()
 		client := remote.NewClient(srv.URL, nil)
-		rIdx, err := client.OpenIRR(ctx)
+		// Open through a (single-replica) Group so the benchmark walks the
+		// production failover fetch path, pricing its overhead into the arm.
+		rIdx, err := remote.NewGroup([]*remote.Client{client}, nil).OpenIRR(ctx)
 		if err != nil {
 			return nil, err
 		}

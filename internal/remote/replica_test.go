@@ -1,0 +1,369 @@
+package remote_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"kbtim"
+	"kbtim/internal/diskio"
+	"kbtim/internal/irrindex"
+	"kbtim/internal/remote"
+	"kbtim/internal/rrindex"
+	"kbtim/internal/shardmap"
+)
+
+// flakyHandler fails the next `failN` requests with a 500 before passing
+// traffic through — the injected transient fault the Group must retry around.
+type flakyHandler struct {
+	inner http.Handler
+	failN atomic.Int64
+	hits  atomic.Int64
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.hits.Add(1)
+	if h.failN.Add(-1) >= 0 {
+		http.Error(w, "injected fault", http.StatusInternalServerError)
+		return
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+// sizeTamper rewrites the advertised index size on every response — a
+// replica that answers happily but claims to serve a different file.
+type sizeTamper struct {
+	inner http.Handler
+	delta int64
+}
+
+type tamperWriter struct {
+	http.ResponseWriter
+	delta int64
+}
+
+func (w tamperWriter) WriteHeader(code int) {
+	const sizeHeader = "X-Kbtim-Index-Size"
+	if v := w.Header().Get(sizeHeader); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err == nil {
+			w.Header().Set(sizeHeader, strconv.FormatInt(n+w.delta, 10))
+		}
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (h *sizeTamper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.inner.ServeHTTP(tamperWriter{ResponseWriter: w, delta: h.delta}, r)
+}
+
+// stubHealth is a hand-driven remote.Health: per-replica availability set by
+// the test, every observation recorded for inspection.
+type stubHealth struct {
+	down     []atomic.Bool
+	observed []error // appended under no lock; tests drive fetches serially
+}
+
+func newStubHealth(n int) *stubHealth { return &stubHealth{down: make([]atomic.Bool, n)} }
+
+func (h *stubHealth) Available(i int) bool { return !h.down[i].Load() }
+func (h *stubHealth) Observe(i int, err error) {
+	h.observed = append(h.observed, err)
+}
+
+// replicaCluster is a replicated 2-shard deployment: each shard's engine is
+// exposed through TWO httptest servers (byte-identical replicas by
+// construction), replica 0 of every shard wrapped in a fault injector.
+type replicaCluster struct {
+	groups  []*remote.Group
+	flaky   []*flakyHandler // per shard, wraps replica 0
+	rrIdx   []*rrindex.Index
+	irrIdx  []*irrindex.Index
+	rrLocal *rrindex.Index
+	sm      *shardmap.Map
+}
+
+func (c *replicaCluster) rrOwner(w int) *rrindex.Index {
+	if w < 0 || w >= c.sm.NumTopics() {
+		return nil
+	}
+	return c.rrIdx[c.sm.Owner(w)]
+}
+
+func (c *replicaCluster) irrOwner(w int) *irrindex.Index {
+	if w < 0 || w >= c.sm.NumTopics() {
+		return nil
+	}
+	return c.irrIdx[c.sm.Owner(w)]
+}
+
+// newReplicaCluster builds each shard as TWO httptest servers over ONE
+// engine — replicas byte-identical by construction — with replica 0 behind
+// the fault injector.
+func newReplicaCluster(t *testing.T) *replicaCluster {
+	t.Helper()
+	ds, err := kbtim.GenerateDataset(kbtim.DatasetSpec{
+		Kind: kbtim.TwitterLike, NumUsers: 300, AvgDegree: 6,
+		NumTopics: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	builder, err := kbtim.NewEngine(ds, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { builder.Close() })
+	rrFull := filepath.Join(dir, "full.rr")
+	if _, err := builder.BuildRRIndex(rrFull); err != nil {
+		t.Fatal(err)
+	}
+	const shards = 2
+	pathFor := func(kind string) func(int) string {
+		return func(i int) string {
+			return kbtim.ShardIndexPath(filepath.Join(dir, "ads."+kind), i)
+		}
+	}
+	if _, err := builder.BuildShardIndexes("rr", shards, kbtim.ShardHash, pathFor("rr")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := builder.BuildShardIndexes("irr", shards, kbtim.ShardHash, pathFor("irr")); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := shardmap.New(shards, shardmap.Hash, ds.NumTopics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &replicaCluster{sm: sm}
+	ctx := context.Background()
+	for i := 0; i < shards; i++ {
+		eng, err := kbtim.NewEngine(ds, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		if err := eng.OpenRRIndex(pathFor("rr")(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.OpenIRRIndex(pathFor("irr")(i)); err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle(remote.ArtifactPath, remote.NewHandler(eng))
+		fh := &flakyHandler{inner: mux}
+		srvA := httptest.NewServer(fh)
+		t.Cleanup(srvA.Close)
+		srvB := httptest.NewServer(mux)
+		t.Cleanup(srvB.Close)
+		c.flaky = append(c.flaky, fh)
+		g := remote.NewGroup([]*remote.Client{
+			remote.NewClient(srvA.URL, srvA.Client()),
+			remote.NewClient(srvB.URL, srvB.Client()),
+		}, nil)
+		c.groups = append(c.groups, g)
+		rr, err := g.OpenRR(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		irr, err := g.OpenIRR(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.rrIdx = append(c.rrIdx, rr)
+		c.irrIdx = append(c.irrIdx, irr)
+	}
+	if c.rrLocal, err = rrindex.Open(openSegmented(t, rrFull)); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// openSegmented opens an index file for direct (local-truth) reads.
+func openSegmented(t *testing.T, path string) diskio.Segmented {
+	t.Helper()
+	f, err := diskio.Open(path, diskio.NewCounter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestGroupFailoverParity is the retried-fetch half of the failover
+// invariant: with one replica of every shard dropping a burst of artifact
+// fetches mid-run, spanning queries still return byte-identical seeds,
+// marginals, and spreads to a directly opened full index — the Group
+// re-issues each failed GET on the surviving replica.
+func TestGroupFailoverParity(t *testing.T) {
+	c := newReplicaCluster(t)
+	ctx := context.Background()
+	for _, fh := range c.flaky {
+		fh.failN.Store(4) // next 4 fetches on replica 0 of each shard fail
+	}
+	for _, q := range parityQueries() {
+		want, err := c.rrLocal.Query(q)
+		if err != nil {
+			t.Fatalf("local rr %v: %v", q.Topics, err)
+		}
+		got, err := rrindex.QueryMultiCtx(ctx, c.rrOwner, q)
+		if err != nil {
+			t.Fatalf("failover rr %v: %v", q.Topics, err)
+		}
+		if !reflect.DeepEqual(got.Seeds, want.Seeds) ||
+			!reflect.DeepEqual(got.Marginals, want.Marginals) ||
+			got.EstSpread != want.EstSpread || got.NumRRSets != want.NumRRSets {
+			t.Fatalf("rr %v under faults: (%v, %v, %v) != local (%v, %v, %v)", q.Topics,
+				got.Seeds, got.Marginals, got.EstSpread,
+				want.Seeds, want.Marginals, want.EstSpread)
+		}
+		gotIRR, err := irrindex.QueryMultiCtx(ctx, c.irrOwner, q)
+		if err != nil {
+			t.Fatalf("failover irr %v: %v", q.Topics, err)
+		}
+		if !reflect.DeepEqual(gotIRR.Marginals, got.Marginals) {
+			t.Fatalf("%v: IRR marginals %v != RR marginals %v under faults",
+				q.Topics, gotIRR.Marginals, got.Marginals)
+		}
+	}
+	var retries, failovers int64
+	for _, g := range c.groups {
+		s := g.Stats()
+		retries += s.Retries
+		failovers += s.Failovers
+	}
+	if retries == 0 || failovers == 0 {
+		t.Fatalf("injected faults produced retries=%d failovers=%d; want both > 0", retries, failovers)
+	}
+}
+
+// TestGroupOpensDegraded: a Group whose first replica is already dead still
+// opens (the dir comes from the survivor) and serves every fetch — the
+// router's "start degraded" path at the fetch layer.
+func TestGroupOpensDegraded(t *testing.T) {
+	base := newCluster(t, 0)
+	ctx := context.Background()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadClient := remote.NewClient(dead.URL, dead.Client())
+	dead.Close() // connection refused from now on
+	// Put the dead replica at the dir fetch's affinity-preferred slot so the
+	// open deterministically has to fail over.
+	replicas := make([]*remote.Client, 2)
+	pref := shardmap.Affinity(0, 2)
+	replicas[pref] = deadClient
+	replicas[1-pref] = base.clients[0]
+	g := remote.NewGroup(replicas, nil)
+	rr, err := g.OpenRR(ctx)
+	if err != nil {
+		t.Fatalf("open with a dead first replica: %v", err)
+	}
+	if kws := rr.Keywords(); len(kws) == 0 {
+		t.Fatal("degraded open produced an empty index")
+	}
+	if s := g.Stats(); s.Retries == 0 || s.Failovers == 0 {
+		t.Fatalf("degraded open counted retries=%d failovers=%d; want both > 0", s.Retries, s.Failovers)
+	}
+	if err := g.Validate(ctx, pref, remote.KindRR); err == nil || errors.Is(err, remote.ErrReplicaMismatch) {
+		t.Fatalf("validating a dead replica: got %v, want a transport error", err)
+	}
+}
+
+// TestGroupNotServedIsNotAFault: a 404 (name does not resolve) is a property
+// of the byte-identical file, not of the replica that answered — the Group
+// must return it immediately instead of hammering every replica.
+func TestGroupNotServedIsNotAFault(t *testing.T) {
+	c := newReplicaCluster(t)
+	g := c.groups[0]
+	if _, _, err := g.Fetch(context.Background(), remote.KindRR, "bogus", 0, 0); !errors.Is(err, remote.ErrNotServed) {
+		t.Fatalf("bogus unit: got %v, want ErrNotServed", err)
+	}
+	if s := g.Stats(); s.Retries != 0 {
+		t.Fatalf("a 404 was retried %d times across replicas", s.Retries)
+	}
+}
+
+// TestGroupMismatchedReplicaRejected: a replica that answers but advertises
+// a different index size is a fault, not a byte source — Validate names it
+// ErrReplicaMismatch, and a Fetch forced onto it fails over to the replica
+// holding the right file even when health reports that one down (fail-open).
+func TestGroupMismatchedReplicaRejected(t *testing.T) {
+	base := newCluster(t, 0)
+	ctx := context.Background()
+	good := base.clients[0]
+	// A second "replica" re-serving the same shard-0 artifacts with the
+	// advertised size header shifted: answers fine, claims a different file.
+	tampered := httptest.NewServer(&sizeTamper{inner: proxyTo(t, good), delta: 7})
+	defer tampered.Close()
+	health := newStubHealth(2)
+	health.down[1].Store(true) // keep the tampered replica out of the open
+	g := remote.NewGroup([]*remote.Client{good, remote.NewClient(tampered.URL, tampered.Client())}, health)
+	if _, err := g.OpenRR(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(ctx, 1, remote.KindRR); !errors.Is(err, remote.ErrReplicaMismatch) {
+		t.Fatalf("validating the tampered replica: got %v, want ErrReplicaMismatch", err)
+	}
+	// Force fetches to prefer the tampered replica: the mismatch must read
+	// as a fault and fail over to the "unavailable" good replica (fail-open).
+	health.down[1].Store(false)
+	health.down[0].Store(true)
+	topics := base.sm.NumTopics()
+	var sawMismatch bool
+	for w := 0; w < topics; w++ {
+		if base.sm.Owner(w) != 0 {
+			continue
+		}
+		if shardmap.Affinity(w, 2) != 1 {
+			continue // only keywords whose preferred replica is the tampered one
+		}
+		if _, _, err := g.Fetch(ctx, remote.KindRR, rrindex.UnitDir, w, 0); err != nil {
+			t.Fatalf("fetch of topic %d with a mismatched preferred replica: %v", w, err)
+		}
+		sawMismatch = true
+	}
+	if !sawMismatch {
+		t.Skip("no shard-0 keyword prefers replica 1 in this universe")
+	}
+	if s := g.Stats(); s.Failovers == 0 {
+		t.Fatalf("mismatched replica produced no failovers: %+v", s)
+	}
+	var gotMismatch bool
+	for _, err := range health.observed {
+		if errors.Is(err, remote.ErrReplicaMismatch) {
+			gotMismatch = true
+		}
+	}
+	if !gotMismatch {
+		t.Fatal("health never observed the ErrReplicaMismatch fault")
+	}
+}
+
+// proxyTo forwards artifact requests to another node — a stand-in for a
+// second server over the same files when only a client handle is available.
+func proxyTo(t *testing.T, c *remote.Client) http.Handler {
+	t.Helper()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		topic, _ := strconv.Atoi(q.Get("topic"))
+		aux, _ := strconv.ParseInt(q.Get("aux"), 10, 64)
+		b, size, err := c.Fetch(r.Context(), q.Get("kind"), q.Get("unit"), topic, aux)
+		if err != nil {
+			status := http.StatusInternalServerError
+			if errors.Is(err, remote.ErrNotServed) {
+				status = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("X-Kbtim-Artifact-Version", strconv.Itoa(remote.Version))
+		w.Header().Set("X-Kbtim-Index-Size", strconv.FormatInt(size, 10))
+		w.WriteHeader(http.StatusOK)
+		w.Write(b)
+	})
+}

@@ -130,6 +130,27 @@ func (m *Map) Owner(w int) int {
 	}
 }
 
+// Affinity returns the preferred replica (in [0, replicas)) for reads of
+// topic w when a shard is served by `replicas` interchangeable copies. It is
+// a pure function of the topic ID, mixed with a different constant than
+// Owner so the replica choice is independent of the shard assignment: hot
+// keywords spread across a replica set instead of all landing on replica 0,
+// while each keyword keeps hitting the same replica (and therefore the same
+// backend caches) run after run. Callers treat it as a starting preference
+// and rotate away from it on failure.
+func Affinity(w, replicas int) int {
+	if replicas <= 1 {
+		return 0
+	}
+	if w < 0 {
+		w = -w
+	}
+	// A second splitmix64 round over an offset ID decorrelates the replica
+	// pick from Owner's shard pick (same mix of the same ID would make
+	// replica choice a function of shard choice).
+	return int(mix64(uint64(w)+0x9E3779B97F4A7C15) % uint64(replicas))
+}
+
 // Shards returns the distinct shards owning any of the given topics, in
 // ascending order. In Replicate mode any single shard can answer, so the
 // result is always one shard — the hash of the first topic — making replica

@@ -169,3 +169,47 @@ func TestOwnerOutOfSpace(t *testing.T) {
 		t.Fatalf("out-of-space owners: %d, %d", m.Owner(-1), m.Owner(16))
 	}
 }
+
+// TestAffinity: the per-keyword preferred replica is deterministic, in
+// range, spreads over the replica set, and is decorrelated from Owner (the
+// whole point of the second mix constant — replica choice must not be a
+// function of shard choice).
+func TestAffinity(t *testing.T) {
+	for w := 0; w < 64; w++ {
+		if got := Affinity(w, 1); got != 0 {
+			t.Fatalf("Affinity(%d, 1) = %d, want 0", w, got)
+		}
+		if got := Affinity(w, 0); got != 0 {
+			t.Fatalf("Affinity(%d, 0) = %d, want 0", w, got)
+		}
+	}
+	const replicas = 3
+	counts := make([]int, replicas)
+	for w := 0; w < 1024; w++ {
+		r := Affinity(w, replicas)
+		if r < 0 || r >= replicas {
+			t.Fatalf("Affinity(%d, %d) = %d out of range", w, replicas, r)
+		}
+		if r != Affinity(w, replicas) {
+			t.Fatalf("Affinity(%d, %d) not deterministic", w, replicas)
+		}
+		counts[r]++
+	}
+	for r, c := range counts {
+		if c < 170 || c > 512 { // within [0.5x, 1.5x] of the ~341 ideal
+			t.Fatalf("replica %d preferred by %d of 1024 keywords: %v", r, c, counts)
+		}
+	}
+	// Decorrelation from Owner: among keywords owned by shard 0 of a 2-way
+	// hash map, the 2-replica affinity must not be constant.
+	m, _ := New(2, Hash, 1024)
+	seen := map[int]bool{}
+	for w := 0; w < 1024; w++ {
+		if m.Owner(w) == 0 {
+			seen[Affinity(w, 2)] = true
+		}
+	}
+	if len(seen) != 2 {
+		t.Fatalf("replica affinity collapsed to %v for shard-0 keywords", seen)
+	}
+}
