@@ -16,11 +16,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"kbtim"
 )
@@ -59,6 +61,9 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "RNG seed")
 		evaluate    = flag.Bool("evaluate", false, "Monte-Carlo-verify the result spread")
 		rounds      = flag.Int("rounds", 5000, "Monte-Carlo rounds for -evaluate")
+		timeout     = flag.Duration("timeout", 0, "abort the query with an error after this long, 0 = none (for -type rr|irr)")
+		deadline    = flag.Duration("deadline", 0, "anytime deadline: past it, return the best certified seed prefix instead of erroring, 0 = none (for -type rr|irr)")
+		stream      = flag.Bool("stream", false, "print each seed the moment it is certified, with its running spread lower bound (for -type rr|irr)")
 	)
 	flag.Parse()
 
@@ -83,6 +88,28 @@ func main() {
 	}
 	if *shards > 1 && *method != "rr" && *method != "irr" {
 		log.Fatalf("kbtim-query: -shards applies to the disk indexes only (-type rr|irr), not %q", *method)
+	}
+	if (*timeout > 0 || *deadline > 0 || *stream) && *method != "rr" && *method != "irr" {
+		log.Fatalf("kbtim-query: -timeout/-deadline/-stream apply to the disk indexes only (-type rr|irr), not %q", *method)
+	}
+
+	// The two knobs degrade differently on expiry: -timeout cancels the
+	// context (the query errors out), -deadline keeps the certified prefix
+	// found so far and marks the result partial.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var so kbtim.StreamOptions
+	if *deadline > 0 {
+		so.Deadline = time.Now().Add(*deadline)
+	}
+	if *stream {
+		so.Emit = func(seed kbtim.Seed, marginal int, spreadLB float64) {
+			fmt.Printf("seed:      %d  (marginal %d, spread >= %.3f)\n", seed, marginal, spreadLB)
+		}
 	}
 
 	// openSharded assembles the per-shard engines over the "<index>.s<i>"
@@ -113,21 +140,21 @@ func main() {
 		case *method == "rr" && *shards > 1:
 			s := openSharded(*indexPath, "")
 			defer s.Close()
-			res, err = s.QueryRR(q)
+			res, err = s.QueryRRStreamCtx(ctx, q, so)
 		case *method == "rr":
 			if err := eng.OpenRRIndex(*indexPath); err != nil {
 				log.Fatalf("kbtim-query: %v", err)
 			}
-			res, err = eng.QueryRR(q)
+			res, err = eng.QueryRRStreamCtx(ctx, q, so)
 		case *method == "irr" && *shards > 1:
 			s := openSharded("", *indexPath)
 			defer s.Close()
-			res, err = s.QueryIRR(q)
+			res, err = s.QueryIRRStreamCtx(ctx, q, so)
 		case *method == "irr":
 			if err := eng.OpenIRRIndex(*indexPath); err != nil {
 				log.Fatalf("kbtim-query: %v", err)
 			}
-			res, err = eng.QueryIRR(q)
+			res, err = eng.QueryIRRStreamCtx(ctx, q, so)
 		}
 	default:
 		log.Fatalf("kbtim-query: unknown strategy %q", *method)
@@ -137,6 +164,9 @@ func main() {
 	}
 
 	fmt.Printf("seeds:     %v\n", res.Seeds)
+	if res.Partial {
+		fmt.Println("partial:   deadline expired; seeds are a certified prefix of the full answer")
+	}
 	fmt.Printf("est.spread %.3f  (from %d RR sets, %v)\n", res.EstSpread, res.NumRRSets, res.Elapsed.Round(1e4))
 	if res.IO.Total() > 0 {
 		fmt.Printf("I/O:       %d ops (%d seq, %d rand), %.1f KB\n",

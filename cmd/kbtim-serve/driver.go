@@ -35,6 +35,12 @@ type driveConfig struct {
 	// window every interval, so the hot set drifts and the server's caches
 	// must evict and re-admit (0 = the whole universe stays active).
 	Churn time.Duration
+	// Stream drives /query?stream=1 instead of batch /query: clients read
+	// the NDJSON seed records as they arrive, record time-to-first-seed, and
+	// check the streamed sequence against the terminal batch record.
+	Stream bool
+	// DeadlineMS > 0 attaches an anytime deadline to every generated query.
+	DeadlineMS int64
 }
 
 // topicPicker draws query keywords from the (possibly rotating) active
@@ -106,6 +112,12 @@ type driveReport struct {
 	P95MS       float64
 	CacheHits   int64
 	DecodedHits int64
+	// Streaming-run extras: time from request start to the first certified
+	// seed on the wire, and how many replies were deadline-cut prefixes.
+	Streamed       bool
+	FirstSeedP50MS float64
+	FirstSeedP99MS float64
+	Partials       int
 }
 
 // fetchKeywords asks the target server for its queryable topic universe.
@@ -152,6 +164,65 @@ func pickTopics(r *rng.Source, p *topicPicker, maxLen int) []int {
 	return out
 }
 
+// streamRecord is the union of the NDJSON line shapes a /query?stream=1
+// reply carries: seed records ({"seed","marginal","spread_lb"}) and the
+// terminal record (the batch queryResponse plus "done":true, or
+// {"done":true,"error":...} after a mid-stream failure). Seed is a pointer
+// so seed 0 is distinguishable from a terminal line.
+type streamRecord struct {
+	Seed     *uint32  `json:"seed"`
+	Marginal int      `json:"marginal"`
+	SpreadLB float64  `json:"spread_lb"`
+	Done     bool     `json:"done"`
+	Error    string   `json:"error"`
+	Seeds    []uint32 `json:"seeds"`
+	Partial  bool     `json:"partial"`
+	IO       ioJSON   `json:"io"`
+}
+
+// streamQuery issues one /query?stream=1 request and consumes the NDJSON
+// reply as it arrives. It returns the time to the first seed record
+// (milliseconds; -1 if none streamed), the terminal record, and an error if
+// the stream is malformed — including a streamed seed count that disagrees
+// with the terminal record's seed list, which would mean the incremental and
+// batch views of one query diverged.
+func streamQuery(client *http.Client, target string, body []byte, t0 time.Time) (float64, *streamRecord, error) {
+	resp, err := client.Post(target+"/query?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return -1, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return -1, nil, fmt.Errorf("stream query: %s: %s", resp.Status, msg)
+	}
+	dec := json.NewDecoder(resp.Body)
+	firstSeedMS := -1.0
+	streamed := 0
+	for {
+		var rec streamRecord
+		if err := dec.Decode(&rec); err != nil {
+			return firstSeedMS, nil, fmt.Errorf("stream query: truncated reply: %w", err)
+		}
+		if rec.Done {
+			if rec.Error != "" {
+				return firstSeedMS, nil, fmt.Errorf("stream query: %s", rec.Error)
+			}
+			if streamed != len(rec.Seeds) {
+				return firstSeedMS, nil, fmt.Errorf("stream query: %d seeds streamed but terminal record lists %d", streamed, len(rec.Seeds))
+			}
+			return firstSeedMS, &rec, nil
+		}
+		if rec.Seed == nil {
+			return firstSeedMS, nil, fmt.Errorf("stream query: record is neither seed nor terminal")
+		}
+		if firstSeedMS < 0 {
+			firstSeedMS = time.Since(t0).Seconds() * 1000
+		}
+		streamed++
+	}
+}
+
 // validate rejects a misconfigured load run before any client starts: a
 // bad -strategy or -clients would otherwise surface as one rejected request
 // per loop iteration for the whole duration.
@@ -189,11 +260,13 @@ func drive(cfg driveConfig) (*driveReport, error) {
 	defer picker.Close()
 
 	type clientResult struct {
-		latencies []float64 // milliseconds
-		errors    int
-		hits      int64
-		decHits   int64
-		aborted   bool
+		latencies  []float64 // milliseconds
+		firstSeeds []float64 // milliseconds to the first streamed seed
+		partials   int
+		errors     int
+		hits       int64
+		decHits    int64
+		aborted    bool
 	}
 	results := make([]clientResult, cfg.Clients)
 	deadline := time.Now().Add(cfg.Duration)
@@ -222,12 +295,33 @@ func drive(cfg driveConfig) (*driveReport, error) {
 			}
 			for time.Now().Before(deadline) {
 				req := queryRequest{
-					Topics:   pickTopics(r, picker, cfg.MaxLen),
-					K:        cfg.K,
-					Strategy: cfg.Strategy,
+					Topics:     pickTopics(r, picker, cfg.MaxLen),
+					K:          cfg.K,
+					Strategy:   cfg.Strategy,
+					DeadlineMS: cfg.DeadlineMS,
 				}
 				body, _ := json.Marshal(req)
 				t0 := time.Now()
+				if cfg.Stream {
+					firstMS, done, err := streamQuery(client, cfg.Target, body, t0)
+					if err != nil {
+						if fail() {
+							return
+						}
+						continue
+					}
+					consecutive = 0
+					results[c].latencies = append(results[c].latencies, time.Since(t0).Seconds()*1000)
+					if firstMS >= 0 {
+						results[c].firstSeeds = append(results[c].firstSeeds, firstMS)
+					}
+					if done.Partial {
+						results[c].partials++
+					}
+					results[c].hits += done.IO.CacheHits
+					results[c].decHits += done.IO.DecodedHits
+					continue
+				}
 				resp, err := client.Post(cfg.Target+"/query", "application/json", bytes.NewReader(body))
 				if err != nil {
 					if fail() {
@@ -246,6 +340,9 @@ func drive(cfg driveConfig) (*driveReport, error) {
 				}
 				consecutive = 0
 				results[c].latencies = append(results[c].latencies, time.Since(t0).Seconds()*1000)
+				if qr.Partial {
+					results[c].partials++
+				}
 				results[c].hits += qr.IO.CacheHits
 				results[c].decHits += qr.IO.DecodedHits
 			}
@@ -254,16 +351,23 @@ func drive(cfg driveConfig) (*driveReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := &driveReport{Elapsed: elapsed, Clients: cfg.Clients}
-	var all []float64
+	rep := &driveReport{Elapsed: elapsed, Clients: cfg.Clients, Streamed: cfg.Stream}
+	var all, firsts []float64
 	for _, r := range results {
 		all = append(all, r.latencies...)
+		firsts = append(firsts, r.firstSeeds...)
 		rep.Errors += r.errors
 		rep.CacheHits += r.hits
 		rep.DecodedHits += r.decHits
+		rep.Partials += r.partials
 		if r.aborted {
 			rep.Aborted++
 		}
+	}
+	if len(firsts) > 0 {
+		sort.Float64s(firsts)
+		rep.FirstSeedP50MS = percentile(firsts, 0.50)
+		rep.FirstSeedP99MS = percentile(firsts, 0.99)
 	}
 	rep.Queries = len(all)
 	if rep.Queries == 0 {
@@ -299,5 +403,9 @@ func (r *driveReport) print() {
 	fmt.Printf("elapsed:    %v\n", r.Elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput: %.1f queries/sec\n", r.QPS)
 	fmt.Printf("latency:    mean %.2f ms, p50 %.2f ms, p95 %.2f ms\n", r.MeanMS, r.P50MS, r.P95MS)
+	if r.Streamed {
+		fmt.Printf("first seed: p50 %.2f ms, p99 %.2f ms\n", r.FirstSeedP50MS, r.FirstSeedP99MS)
+		fmt.Printf("partial:    %d deadline-cut replies\n", r.Partials)
+	}
 	fmt.Printf("cache hits: %d byte-level, %d decoded-object (server side)\n", r.CacheHits, r.DecodedHits)
 }

@@ -22,6 +22,7 @@ import (
 	"kbtim/internal/rrindex"
 	"kbtim/internal/shardmap"
 	"kbtim/internal/topic"
+	"kbtim/internal/wris"
 )
 
 // fanoutNode is one downstream kbtim-serve process as the router sees it:
@@ -57,12 +58,12 @@ type fanoutNode struct {
 // replica supplied it is irrelevant — and a replica coming back needs no
 // re-open, only a breaker close).
 type shardGroup struct {
-	f     *fanout
-	shard int
-	nodes []*fanoutNode
-	grp   *remote.Group
-	rr    *rrindex.Index
-	irr   *irrindex.Index
+	f      *fanout
+	shard  int
+	nodes  []*fanoutNode
+	grp    *remote.Group
+	rr     *rrindex.Index
+	irr    *irrindex.Index
 	rrDec  *objcache.Cache
 	irrDec *objcache.Cache
 	next   atomic.Uint64 // proxy round-robin cursor across replicas
@@ -132,10 +133,10 @@ type fanout struct {
 
 // fanoutConfig carries openFanout's knobs (the flag surface plus test hooks).
 type fanoutConfig struct {
-	mode        kbtim.ShardMode
-	decBudget   int64 // PER-GROUP decoded-cache byte budget (caller splits the global flag)
-	cacheShards int
-	queryPar    int
+	mode         kbtim.ShardMode
+	decBudget    int64 // PER-GROUP decoded-cache byte budget (caller splits the global flag)
+	cacheShards  int
+	queryPar     int
 	proxyTimeout time.Duration
 	healthTTL    time.Duration // TTL of cached /healthz verdicts (0 = probe every time)
 	probeTimeout time.Duration // per-probe bound on /healthz round trips
@@ -463,9 +464,21 @@ func (g *shardGroup) proxyOrder() []int {
 // failure re-issues the query to the next replica, rebuilding the request
 // body per attempt; a deterministic reply (4xx — bad query, unindexed
 // keyword) returns immediately, every replica would say the same.
-func (f *fanout) proxy(ctx context.Context, gi int, q kbtim.Query, strategy string) (*kbtim.Result, error) {
+func (f *fanout) proxy(ctx context.Context, gi int, q kbtim.Query, strategy string, so kbtim.StreamOptions) (*kbtim.Result, error) {
 	g := f.groups[gi]
-	body, err := json.Marshal(queryRequest{Topics: q.Topics, K: q.K, Strategy: strategy})
+	wireReq := queryRequest{Topics: q.Topics, K: q.K, Strategy: strategy}
+	if !so.Deadline.IsZero() {
+		// The anytime deadline crosses the wire as a relative budget: the
+		// owning node runs the SAME best-certified-prefix degradation a local
+		// engine would and marks the reply partial. An already-expired
+		// deadline skips the round trip — the best certified prefix is empty.
+		ms := time.Until(so.Deadline).Milliseconds()
+		if ms <= 0 {
+			return &kbtim.Result{Partial: true}, nil
+		}
+		wireReq.DeadlineMS = ms
+	}
+	body, err := json.Marshal(wireReq)
 	if err != nil {
 		return nil, err
 	}
@@ -478,6 +491,32 @@ func (f *fanout) proxy(ctx context.Context, gi int, q kbtim.Query, strategy stri
 			n.proxied.Add(1)
 			if attempt > 0 {
 				f.proxyFailovers.Add(1)
+			}
+			// Proxied queries stream on arrival: the whole reply exists
+			// before the first emission (only scattered queries certify
+			// locally seed by seed), but the emitted (seed, marginal,
+			// spreadLB) sequence is identical to what the owning node's own
+			// stream produced — the prefix spread formula is shared.
+			if so.Emit != nil {
+				covered := 0
+				for _, m := range res.Marginals {
+					covered += m
+				}
+				run := 0
+				for i, seed := range res.Seeds {
+					if i < len(res.Marginals) {
+						run += res.Marginals[i]
+					}
+					lb := 0.0
+					if covered > 0 {
+						lb = res.EstSpread * float64(run) / float64(covered)
+					}
+					m := 0
+					if i < len(res.Marginals) {
+						m = res.Marginals[i]
+					}
+					so.Emit(seed, m, lb)
+				}
 			}
 			return res, nil
 		}
@@ -554,12 +593,19 @@ func (f *fanout) proxyOnce(ctx context.Context, n *fanoutNode, body []byte) (*kb
 			DecodedMisses:   qr.IO.DecodedMisses,
 		},
 		Elapsed: time.Duration(qr.ElapsedMS * float64(time.Millisecond)),
+		Partial: qr.Partial,
 	}, false, nil
 }
 
 // QueryRRCtx implements backend: proxy when one group owns every topic,
 // local Algorithm 2 over remote-backed group indexes otherwise.
 func (f *fanout) QueryRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, error) {
+	return f.QueryRRStreamCtx(ctx, q, kbtim.StreamOptions{})
+}
+
+// QueryRRStreamCtx implements backend with incremental emission: scattered
+// queries certify and emit locally; proxied queries emit on reply arrival.
+func (f *fanout) QueryRRStreamCtx(ctx context.Context, q kbtim.Query, so kbtim.StreamOptions) (*kbtim.Result, error) {
 	if f.groups[0].rr == nil {
 		return nil, errors.New("router backends serve no RR index")
 	}
@@ -569,15 +615,15 @@ func (f *fanout) QueryRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, 
 	}
 	if len(gids) == 1 {
 		f.proxCnt.Add(1)
-		return f.proxy(ctx, gids[0], q, "rr")
+		return f.proxy(ctx, gids[0], q, "rr", so)
 	}
 	f.scatCnt.Add(1)
-	r, err := rrindex.QueryMultiCtx(ctx, func(w int) *rrindex.Index {
+	r, err := rrindex.QueryMultiStreamCtx(ctx, func(w int) *rrindex.Index {
 		if w < 0 || w >= f.sm.NumTopics() {
 			return nil
 		}
 		return f.groups[f.sm.Owner(w)].rr
-	}, topic.Query{Topics: q.Topics, K: q.K})
+	}, topic.Query{Topics: q.Topics, K: q.K}, wris.StreamOptions{Emit: wris.EmitFunc(so.Emit), Deadline: so.Deadline})
 	if err != nil {
 		return nil, err
 	}
@@ -588,11 +634,17 @@ func (f *fanout) QueryRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, 
 		NumRRSets: r.NumRRSets,
 		IO:        wireIOStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		Elapsed:   r.Elapsed,
+		Partial:   r.Partial,
 	}, nil
 }
 
 // QueryIRRCtx implements backend; routing matches QueryRRCtx.
 func (f *fanout) QueryIRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result, error) {
+	return f.QueryIRRStreamCtx(ctx, q, kbtim.StreamOptions{})
+}
+
+// QueryIRRStreamCtx implements backend; routing matches QueryRRStreamCtx.
+func (f *fanout) QueryIRRStreamCtx(ctx context.Context, q kbtim.Query, so kbtim.StreamOptions) (*kbtim.Result, error) {
 	if f.groups[0].irr == nil {
 		return nil, errors.New("router backends serve no IRR index")
 	}
@@ -602,15 +654,15 @@ func (f *fanout) QueryIRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result,
 	}
 	if len(gids) == 1 {
 		f.proxCnt.Add(1)
-		return f.proxy(ctx, gids[0], q, "irr")
+		return f.proxy(ctx, gids[0], q, "irr", so)
 	}
 	f.scatCnt.Add(1)
-	r, err := irrindex.QueryMultiCtx(ctx, func(w int) *irrindex.Index {
+	r, err := irrindex.QueryMultiStreamCtx(ctx, func(w int) *irrindex.Index {
 		if w < 0 || w >= f.sm.NumTopics() {
 			return nil
 		}
 		return f.groups[f.sm.Owner(w)].irr
-	}, topic.Query{Topics: q.Topics, K: q.K})
+	}, topic.Query{Topics: q.Topics, K: q.K}, wris.StreamOptions{Emit: wris.EmitFunc(so.Emit), Deadline: so.Deadline})
 	if err != nil {
 		return nil, err
 	}
@@ -622,6 +674,7 @@ func (f *fanout) QueryIRRCtx(ctx context.Context, q kbtim.Query) (*kbtim.Result,
 		IO:               wireIOStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		PartitionsLoaded: r.PartitionsLoaded,
 		Elapsed:          r.Elapsed,
+		Partial:          r.Partial,
 	}, nil
 }
 

@@ -123,6 +123,37 @@ func TestRouterThreeWayParity(t *testing.T) {
 						one.Seeds, one.Marginals, one.EstSpread, one.NumRRSets)
 				}
 			}
+
+			// Streaming pass over the same three topologies: the emitted
+			// seed records, concatenated, must be byte-identical to the
+			// single-engine batch answer, and a deadline comfortably larger
+			// than the query needs must be invisible (partial=false, same
+			// payload) — including across the router's proxy wire, which
+			// forwards the remaining budget as deadline_ms.
+			q.DeadlineMS = 60_000
+			for _, topo := range []struct {
+				name string
+				ts   *httptest.Server
+			}{{"single", c.single}, {"sharded", c.sharded}, {"router", c.router}} {
+				recs, final := postQueryStream(t, topo.ts, q)
+				var seeds []uint32
+				var marginals []int
+				for _, r := range recs {
+					seeds = append(seeds, r.Seed)
+					marginals = append(marginals, r.Marginal)
+				}
+				if !reflect.DeepEqual(seeds, one.Seeds) || !reflect.DeepEqual(marginals, one.Marginals) {
+					t.Fatalf("%s stream %s %v: streamed (%v,%v) != single batch (%v,%v)",
+						topo.name, strategy, q.Topics, seeds, marginals, one.Seeds, one.Marginals)
+				}
+				if final.Partial {
+					t.Fatalf("%s stream %s %v: generous deadline marked the reply partial", topo.name, strategy, q.Topics)
+				}
+				if !reflect.DeepEqual(final.Seeds, one.Seeds) || final.EstSpread != one.EstSpread {
+					t.Fatalf("%s stream %s %v: terminal record diverged from single batch", topo.name, strategy, q.Topics)
+				}
+			}
+			q.DeadlineMS = 0
 		}
 	}
 	// The matrix above must have exercised BOTH router paths, on both nodes.

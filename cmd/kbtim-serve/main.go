@@ -39,7 +39,12 @@
 //
 // Endpoints:
 //
-//	POST /query    {"topics":[2,7],"k":10,"strategy":"irr"} → seeds + stats
+//	POST /query    {"topics":[2,7],"k":10,"strategy":"irr"} → seeds + stats;
+//	               optional "deadline_ms" makes the query anytime (best
+//	               certified prefix + partial=true at the deadline), and
+//	               ?stream=1 switches the reply to NDJSON: one record per
+//	               certified seed as it is found, then a terminal record
+//	               with the batch payload and "done":true
 //	GET  /keywords queryable topic IDs (union across shards)
 //	GET  /stats    pool, latency, and cache counters (+ per-shard and
 //	               per-backend router sections)
@@ -104,6 +109,7 @@ func run(args []string) error {
 		proxyTO     = fs.Duration("proxy-timeout", 30*time.Second, "per-call deadline for router→backend opens and proxied queries (router mode)")
 		healthTTL   = fs.Duration("health-ttl", 2*time.Second, "how long a backend /healthz verdict is cached before re-probing (router mode)")
 		probeTO     = fs.Duration("probe-timeout", 2*time.Second, "per-probe deadline for backend /healthz round trips (router mode)")
+		deadlineDef = fs.Duration("deadline", 0, "default anytime deadline per query: past it the reply is the best certified seed prefix, partial=true (0 = none; per-request deadline_ms overrides)")
 		model       = fs.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
 		bigK        = fs.Int("K", 100, "system cap on Q.k")
@@ -120,6 +126,8 @@ func run(args []string) error {
 		strategy  = fs.String("strategy", "irr", "strategy for generated queries: rr | irr (drive mode)")
 		zipf      = fs.Float64("zipf", 0, "keyword popularity skew exponent, 0 = uniform (drive mode)")
 		churn     = fs.Duration("churn", 0, "rotate the active keyword window this often, 0 = whole universe (drive mode)")
+		stream    = fs.Bool("stream", false, "drive /query?stream=1 and report time-to-first-seed (drive mode)")
+		dlMS      = fs.Int64("deadline-ms", 0, "anytime deadline_ms attached to every generated query, 0 = none (drive mode)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -130,15 +138,17 @@ func run(args []string) error {
 
 	if *driveMode {
 		rep, err := drive(driveConfig{
-			Target:   *target,
-			Clients:  *clients,
-			Duration: *duration,
-			K:        *k,
-			MaxLen:   *maxLen,
-			Strategy: *strategy,
-			Seed:     *seed,
-			Zipf:     *zipf,
-			Churn:    *churn,
+			Target:     *target,
+			Clients:    *clients,
+			Duration:   *duration,
+			K:          *k,
+			MaxLen:     *maxLen,
+			Strategy:   *strategy,
+			Seed:       *seed,
+			Zipf:       *zipf,
+			Churn:      *churn,
+			Stream:     *stream,
+			DeadlineMS: *dlMS,
 		})
 		if err != nil {
 			return err
@@ -213,6 +223,7 @@ func run(args []string) error {
 	}
 
 	srv := NewServer(be, pool)
+	srv.SetDefaultDeadline(*deadlineDef)
 	hs := &http.Server{
 		Addr:    *addr,
 		Handler: srv.Handler(),

@@ -20,9 +20,11 @@ import (
 // fanout router — the handlers are identical either way. Queries carry the
 // request context, so a disconnected client cancels its in-flight query
 // instead of burning a worker slot to completion.
+// Both query methods take StreamOptions: batch responses are the zero-option
+// case of the same call, so the served pipeline is anytime end to end.
 type backend interface {
-	QueryRRCtx(context.Context, kbtim.Query) (*kbtim.Result, error)
-	QueryIRRCtx(context.Context, kbtim.Query) (*kbtim.Result, error)
+	QueryRRStreamCtx(context.Context, kbtim.Query, kbtim.StreamOptions) (*kbtim.Result, error)
+	QueryIRRStreamCtx(context.Context, kbtim.Query, kbtim.StreamOptions) (*kbtim.Result, error)
 	IndexedKeywords() []int
 	CacheStats() (rr, irr diskio.CacheStats)
 	DecodedCacheStats() (rr, irr objcache.Stats)
@@ -61,12 +63,17 @@ type Server struct {
 	sem     chan struct{}
 	started time.Time
 
-	served   atomic.Int64 // queries answered successfully
-	failed   atomic.Int64 // queries that reached an engine and errored
-	rejected atomic.Int64 // requests refused before dispatch (client errors)
-	canceled atomic.Int64 // clients that disconnected before an answer
-	inflight atomic.Int64
-	totalNS  atomic.Int64 // summed service time of served queries
+	// defaultDeadline, when nonzero, caps every query that does not carry its
+	// own deadline_ms. Set before the listener starts; not synchronized.
+	defaultDeadline time.Duration
+
+	served          atomic.Int64 // queries answered successfully
+	failed          atomic.Int64 // queries that reached an engine and errored
+	rejected        atomic.Int64 // requests refused before dispatch (client errors)
+	canceled        atomic.Int64 // clients that disconnected before an answer
+	deadlinePartial atomic.Int64 // served queries cut short by an anytime deadline
+	inflight        atomic.Int64
+	totalNS         atomic.Int64 // summed service time of served queries
 }
 
 // NewServer wraps a backend with a pool of the given size (minimum 1).
@@ -79,6 +86,17 @@ func NewServer(eng backend, workers int) *Server {
 		sem:     make(chan struct{}, workers),
 		started: time.Now(),
 	}
+}
+
+// SetDefaultDeadline makes every query without its own deadline_ms an
+// anytime query with budget d (zero disables the default). A query that hits
+// the deadline answers 200 with its best certified prefix and partial=true
+// instead of erroring.
+func (s *Server) SetDefaultDeadline(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.defaultDeadline = d
 }
 
 // Handler returns the route table. Backends that can serve raw index
@@ -104,6 +122,11 @@ type queryRequest struct {
 	K int `json:"k"`
 	// Strategy selects the processing path: "irr" (default) or "rr".
 	Strategy string `json:"strategy,omitempty"`
+	// DeadlineMS, when positive, makes this an anytime query: after that many
+	// milliseconds the reply is the best certified seed prefix so far, marked
+	// partial=true, rather than an error. Zero means no deadline (or the
+	// server's -deadline default, if one is configured).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // ioJSON mirrors kbtim.IOStats for the wire.
@@ -129,6 +152,29 @@ type queryResponse struct {
 	PartitionsLoaded int      `json:"partitions_loaded,omitempty"`
 	IO               ioJSON   `json:"io"`
 	ElapsedMS        float64  `json:"elapsed_ms"`
+	// Partial reports that an anytime deadline cut the query short: Seeds is
+	// a certified prefix of the full greedy answer (every listed seed would
+	// appear, in this order, in the undeadlined run), not a guess.
+	Partial bool `json:"partial"`
+}
+
+// streamSeedRecord is one NDJSON line of a /query?stream=1 reply: a seed the
+// moment it is certified, with its marginal and the certified spread lower
+// bound of the emitted prefix so far.
+type streamSeedRecord struct {
+	Seed     uint32  `json:"seed"`
+	Marginal int     `json:"marginal"`
+	SpreadLB float64 `json:"spread_lb"`
+}
+
+// streamDoneRecord terminates a /query?stream=1 reply: the full batch
+// response (final spread, stats, partial marker) plus done=true. A query
+// that fails after seeds already streamed instead ends with
+// {"done":true,"error":...} — the HTTP status is long gone by then, so the
+// failure rides the last line.
+type streamDoneRecord struct {
+	queryResponse
+	Done bool `json:"done"`
 }
 
 // cacheJSON mirrors diskio.CacheStats for the wire.
@@ -243,22 +289,25 @@ type routerStatsJSON struct {
 // sharded deployment, Router the per-node breakdown when it is a cross-node
 // fanout.
 type statsResponse struct {
-	UptimeSec     float64          `json:"uptime_sec"`
-	Workers       int              `json:"workers"`
-	InFlight      int64            `json:"in_flight"`
-	Served        int64            `json:"served"`
-	Failed        int64            `json:"failed"`
-	Rejected      int64            `json:"rejected"`
-	Canceled      int64            `json:"canceled"`
-	MeanLatencyMS float64          `json:"mean_latency_ms"`
-	NumShards     int              `json:"num_shards"`
-	ShardMode     string           `json:"shard_mode,omitempty"`
-	Shards        []shardJSON      `json:"shards,omitempty"`
-	Router        *routerStatsJSON `json:"router,omitempty"`
-	RRCache       cacheJSON        `json:"rr_cache"`
-	IRRCache      cacheJSON        `json:"irr_cache"`
-	RRDecoded     decodedCacheJSON `json:"rr_decoded_cache"`
-	IRRDecoded    decodedCacheJSON `json:"irr_decoded_cache"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Workers   int     `json:"workers"`
+	InFlight  int64   `json:"in_flight"`
+	Served    int64   `json:"served"`
+	Failed    int64   `json:"failed"`
+	Rejected  int64   `json:"rejected"`
+	Canceled  int64   `json:"canceled"`
+	// DeadlinePartial counts served queries whose anytime deadline expired
+	// first, so the answer was a certified prefix rather than the full top-k.
+	DeadlinePartial int64            `json:"deadline_partial"`
+	MeanLatencyMS   float64          `json:"mean_latency_ms"`
+	NumShards       int              `json:"num_shards"`
+	ShardMode       string           `json:"shard_mode,omitempty"`
+	Shards          []shardJSON      `json:"shards,omitempty"`
+	Router          *routerStatsJSON `json:"router,omitempty"`
+	RRCache         cacheJSON        `json:"rr_cache"`
+	IRRCache        cacheJSON        `json:"irr_cache"`
+	RRDecoded       decodedCacheJSON `json:"rr_decoded_cache"`
+	IRRDecoded      decodedCacheJSON `json:"irr_decoded_cache"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -299,7 +348,38 @@ func validateQueryRequest(req *queryRequest) (string, error) {
 		}
 		seen[w] = true
 	}
+	if req.DeadlineMS < 0 {
+		return "", fmt.Errorf("deadline_ms must be non-negative, got %d", req.DeadlineMS)
+	}
 	return strategy, nil
+}
+
+// ndjsonWriter emits one JSON object per line on a /query?stream=1 reply.
+// Headers go out lazily with the first record, so a query that errors before
+// certifying anything still gets a real HTTP status; once a record is out,
+// the stream is committed and later failures ride the terminal line. Every
+// record is flushed immediately — the first certified seed reaches the
+// client while the rest of the query is still running.
+type ndjsonWriter struct {
+	w       http.ResponseWriter
+	enc     *json.Encoder
+	started bool
+}
+
+func (nw *ndjsonWriter) record(v interface{}) {
+	if !nw.started {
+		nw.w.Header().Set("Content-Type", "application/x-ndjson")
+		nw.w.WriteHeader(http.StatusOK)
+		nw.enc = json.NewEncoder(nw.w)
+		nw.started = true
+	}
+	if err := nw.enc.Encode(v); err != nil {
+		log.Printf("kbtim-serve: encode stream record: %v", err)
+		return
+	}
+	if f, ok := nw.w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -343,12 +423,28 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// keyword-load or partition-round boundary and aborts, releasing this
 	// worker slot within one round instead of after a full Algorithm 2/4 run.
 	q := kbtim.Query{Topics: req.Topics, K: req.K}
+
+	var so kbtim.StreamOptions
+	if req.DeadlineMS > 0 {
+		so.Deadline = time.Now().Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	} else if s.defaultDeadline > 0 {
+		so.Deadline = time.Now().Add(s.defaultDeadline)
+	}
+	stream := r.URL.Query().Get("stream") == "1"
+	var sw *ndjsonWriter
+	if stream {
+		sw = &ndjsonWriter{w: w}
+		so.Emit = func(seed kbtim.Seed, marginal int, spreadLB float64) {
+			sw.record(streamSeedRecord{Seed: uint32(seed), Marginal: marginal, SpreadLB: spreadLB})
+		}
+	}
+
 	start := time.Now()
 	var res *kbtim.Result
 	if strategy == "rr" {
-		res, err = s.eng.QueryRRCtx(r.Context(), q)
+		res, err = s.eng.QueryRRStreamCtx(r.Context(), q, so)
 	} else {
-		res, err = s.eng.QueryIRRCtx(r.Context(), q)
+		res, err = s.eng.QueryIRRStreamCtx(r.Context(), q, so)
 	}
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -359,6 +455,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.failed.Add(1)
+		if sw != nil && sw.started {
+			// Seeds already streamed; the 200 is committed. Report the
+			// failure on the terminal line instead of a status code.
+			sw.record(map[string]interface{}{"done": true, "error": err.Error()})
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -371,7 +473,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.served.Add(1)
 	s.totalNS.Add(time.Since(start).Nanoseconds())
-	writeJSON(w, http.StatusOK, queryResponse{
+	if res.Partial {
+		s.deadlinePartial.Add(1)
+	}
+	resp := queryResponse{
 		Strategy:         strategy,
 		Seeds:            res.Seeds,
 		Marginals:        res.Marginals,
@@ -388,7 +493,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			DecodedMisses:   res.IO.DecodedMisses,
 		},
 		ElapsedMS: res.Elapsed.Seconds() * 1000,
-	})
+		Partial:   res.Partial,
+	}
+	if sw != nil {
+		sw.record(streamDoneRecord{queryResponse: resp, Done: true})
+		return
+	}
+	// Batch replies stream-encode too: commit the status and flush the
+	// headers before encoding, then encode straight onto the wire instead
+	// of buffering the whole body — a slow client starts reading at once.
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		log.Printf("kbtim-serve: encode response: %v", err)
+	}
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleKeywords(w http.ResponseWriter, r *http.Request) {
@@ -412,19 +536,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rrCache, irrCache := s.eng.CacheStats()
 	rrDec, irrDec := s.eng.DecodedCacheStats()
 	resp := statsResponse{
-		UptimeSec:     time.Since(s.started).Seconds(),
-		Workers:       cap(s.sem),
-		InFlight:      s.inflight.Load(),
-		Served:        served,
-		Failed:        s.failed.Load(),
-		Rejected:      s.rejected.Load(),
-		Canceled:      s.canceled.Load(),
-		MeanLatencyMS: mean,
-		NumShards:     1,
-		RRCache:       toCacheJSON(rrCache),
-		IRRCache:      toCacheJSON(irrCache),
-		RRDecoded:     toDecodedCacheJSON(rrDec),
-		IRRDecoded:    toDecodedCacheJSON(irrDec),
+		UptimeSec:       time.Since(s.started).Seconds(),
+		Workers:         cap(s.sem),
+		InFlight:        s.inflight.Load(),
+		Served:          served,
+		Failed:          s.failed.Load(),
+		Rejected:        s.rejected.Load(),
+		Canceled:        s.canceled.Load(),
+		DeadlinePartial: s.deadlinePartial.Load(),
+		MeanLatencyMS:   mean,
+		NumShards:       1,
+		RRCache:         toCacheJSON(rrCache),
+		IRRCache:        toCacheJSON(irrCache),
+		RRDecoded:       toDecodedCacheJSON(rrDec),
+		IRRDecoded:      toDecodedCacheJSON(irrDec),
 	}
 	if rs, ok := s.eng.(routerStatser); ok {
 		resp.Router = rs.RouterStats(r.Context())

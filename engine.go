@@ -158,8 +158,39 @@ type Result struct {
 	IO IOStats
 	// PartitionsLoaded counts IRR partition fetches (zero elsewhere).
 	PartitionsLoaded int
+	// Partial is true when a streaming deadline (StreamOptions.Deadline)
+	// stopped the query before the full answer: Seeds is the certified
+	// prefix selected so far and EstSpread its spread — a lower bound on
+	// the full answer's, never a guess.
+	Partial bool
 	// Elapsed is the wall-clock processing time.
 	Elapsed time.Duration
+}
+
+// EmitFunc receives one certified seed the moment a query path selects it:
+// the seed, its marginal coverage, and the running spread lower bound of the
+// emitted prefix. Called synchronously on the query goroutine, in selection
+// order; the concatenated emissions always equal the returned Result's
+// Seeds/Marginals prefix exactly.
+type EmitFunc func(seed Seed, marginal int, spreadLB float64)
+
+// StreamOptions carries the anytime-query hooks of the streaming entry
+// points (QueryRRStreamCtx / QueryIRRStreamCtx, and their Sharded
+// counterparts). The zero value means "batch": no emission, no deadline —
+// QueryRRCtx is literally QueryRRStreamCtx with zero options.
+type StreamOptions struct {
+	// Emit, when non-nil, streams each seed as it is certified.
+	Emit EmitFunc
+	// Deadline, when non-zero, turns timeout into degradation: once it
+	// passes, the query returns the best certified prefix with
+	// Result.Partial=true instead of an error.
+	Deadline time.Time
+}
+
+// internal converts to the index layers' option type (Seed is an alias of
+// uint32, so the sink passes through unwrapped).
+func (so StreamOptions) internal() wris.StreamOptions {
+	return wris.StreamOptions{Emit: wris.EmitFunc(so.Emit), Deadline: so.Deadline}
 }
 
 // BuildReport summarizes an index build (Tables 3–5).
@@ -607,12 +638,20 @@ func (e *Engine) QueryRR(q Query) (*Result, error) {
 // client, a router-side timeout) stops paying for artifact fetches it no
 // longer wants. A canceled query returns ctx.Err().
 func (e *Engine) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
+	return e.QueryRRStreamCtx(ctx, q, StreamOptions{})
+}
+
+// QueryRRStreamCtx is QueryRRCtx with anytime hooks: so.Emit receives each
+// seed as greedy selection certifies it, and an expired so.Deadline returns
+// the best certified prefix with Partial=true instead of an error. Zero
+// options degrade to exactly the batch path.
+func (e *Engine) QueryRRStreamCtx(ctx context.Context, q Query, so StreamOptions) (*Result, error) {
 	h, err := e.acquireRR()
 	if err != nil {
 		return nil, err
 	}
 	defer h.release()
-	r, err := h.rr.QueryCtx(ctx, q.internal())
+	r, err := h.rr.QueryStreamCtx(ctx, q.internal(), so.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -622,6 +661,7 @@ func (e *Engine) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
 		IO:        ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
+		Partial:   r.Partial,
 		Elapsed:   r.Elapsed,
 	}, nil
 }
@@ -638,12 +678,21 @@ func (e *Engine) QueryIRR(q Query) (*Result, error) {
 // query stops within one partition round instead of running Algorithm 4 to
 // completion. A canceled query returns ctx.Err().
 func (e *Engine) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
+	return e.QueryIRRStreamCtx(ctx, q, StreamOptions{})
+}
+
+// QueryIRRStreamCtx is QueryIRRCtx with anytime hooks: so.Emit receives each
+// seed the moment the NRA test certifies it — typically while partitions are
+// still unloaded, which is the IRR layout's defining win — and an expired
+// so.Deadline returns the certified prefix with Partial=true instead of an
+// error. Zero options degrade to exactly the batch path.
+func (e *Engine) QueryIRRStreamCtx(ctx context.Context, q Query, so StreamOptions) (*Result, error) {
 	h, err := e.acquireIRR()
 	if err != nil {
 		return nil, err
 	}
 	defer h.release()
-	r, err := h.irr.QueryCtx(ctx, q.internal())
+	r, err := h.irr.QueryStreamCtx(ctx, q.internal(), so.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -654,6 +703,7 @@ func (e *Engine) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
 		NumRRSets:        r.NumRRSets,
 		IO:               ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		PartitionsLoaded: r.PartitionsLoaded,
+		Partial:          r.Partial,
 		Elapsed:          r.Elapsed,
 	}, nil
 }

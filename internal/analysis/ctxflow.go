@@ -16,9 +16,17 @@ import (
 // (Engine.QueryRR and friends — recognized structurally, see
 // isCompatWrapper) and _test.go files, where the test function is its
 // own root caller and context.Background() is the correct root.
-// Independent of package scope and file kind, any function holding a
-// context that calls a sibling when a ...Ctx variant of that sibling
-// exists is flagged for dropping its ctx on the floor.
+// Additionally, IN ANY PACKAGE, a function that takes the anytime
+// emission plumbing — a parameter of a named type called StreamOptions
+// or SolveOptions — is a query-path root by definition: an emission
+// sink only exists because a live query is streaming through, so
+// minting a fresh root context there detaches exactly the plumbing
+// whose caller cares most about deadlines. The ban applies to such
+// functions even outside the scoped packages (the serving layer's
+// fanout/server code included). Independent of package scope and file
+// kind, any function holding a context that calls a sibling when a
+// ...Ctx variant of that sibling exists is flagged for dropping its
+// ctx on the floor.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "ban context.Background/TODO on the query path; require ctx holders to use ...Ctx variants",
@@ -38,10 +46,20 @@ var CtxflowScope = map[string]bool{
 func runCtxflow(pass *Pass) error {
 	inScope := CtxflowScope[pass.Pkg.Path()]
 	for _, f := range pass.Files {
-		banHere := inScope && !strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
-		if banHere {
+		isTest := strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+		if !isTest {
 			for _, decl := range f.Decls {
-				if fd, ok := decl.(*ast.FuncDecl); ok && isCompatWrapper(pass.TypesInfo, fd) {
+				fd, isFn := decl.(*ast.FuncDecl)
+				banHere := inScope
+				if isFn {
+					if isCompatWrapper(pass.TypesInfo, fd) {
+						continue
+					}
+					// An emission sink in hand puts the function on the
+					// query path no matter where it lives.
+					banHere = banHere || hasEmitOptsParam(pass.TypesInfo, fd)
+				}
+				if !banHere {
 					continue
 				}
 				ast.Inspect(decl, func(n ast.Node) bool {
@@ -127,6 +145,32 @@ func isContextType(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasEmitOptsParam reports whether fd takes a parameter of a named type
+// called StreamOptions or SolveOptions (by value or pointer) — the
+// anytime emission plumbing. Matching by type name rather than import
+// path keeps every layer's flavor covered: kbtim.StreamOptions,
+// wris.StreamOptions, and coverage.SolveOptions are distinct types that
+// carry the same sink.
+func hasEmitOptsParam(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			switch named.Obj().Name() {
+			case "StreamOptions", "SolveOptions":
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func hasCtxParam(info *types.Info, fd *ast.FuncDecl) bool {

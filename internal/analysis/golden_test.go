@@ -26,6 +26,13 @@ func TestCtxflowGolden(t *testing.T) {
 	analysistest.Run(t, "../..", "testdata/src/ctxflow", analysis.Ctxflow)
 }
 
+// TestCtxflowStreamRootGolden runs ctxflow WITHOUT scoping the testdata
+// package in: every finding there fires purely because the function
+// carries an emission sink (StreamOptions/SolveOptions parameter).
+func TestCtxflowStreamRootGolden(t *testing.T) {
+	analysistest.Run(t, "../..", "testdata/src/ctxflowstream", analysis.Ctxflow)
+}
+
 func TestCacheimmutableGolden(t *testing.T) {
 	analysistest.Run(t, "../..", "testdata/src/cacheimmutable", analysis.Cacheimmutable)
 }

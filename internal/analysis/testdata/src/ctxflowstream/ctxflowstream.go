@@ -1,0 +1,70 @@
+// Package ctxflowstream is kbtim-lint golden testdata: the emission-sink
+// root rule. Unlike the ctxflow package, this one is deliberately NOT
+// scoped into CtxflowScope — the Background/TODO findings here fire
+// purely because the function holds anytime emission plumbing (a
+// StreamOptions or SolveOptions parameter), proving streaming code in
+// any package is covered.
+package ctxflowstream
+
+import (
+	"context"
+	"time"
+)
+
+// StreamOptions mirrors the shape the real packages carry: an emission
+// sink plus a deadline. The analyzer matches the type NAME, so this
+// local flavor counts exactly like kbtim.StreamOptions.
+type StreamOptions struct {
+	Emit     func(seed uint32, marginal int, spreadLB float64)
+	Deadline time.Time
+}
+
+// SolveOptions is the coverage-layer flavor.
+type SolveOptions struct {
+	Emit func(seed uint32, marginal int)
+}
+
+type store struct{}
+
+func (s *store) queryCtx(ctx context.Context, q string) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(q)
+}
+
+// streamRoot holds an emission sink and still mints a fresh root
+// context: this is streaming plumbing detaching itself from the caller,
+// banned in every package.
+func streamRoot(s *store, so StreamOptions) int {
+	return s.queryCtx(context.Background(), "q") // want "context.Background\(\) on the query path"
+}
+
+// solveRootPtr proves pointer parameters count too.
+func solveRootPtr(s *store, so *SolveOptions) int {
+	return s.queryCtx(context.TODO(), "q") // want "context.TODO\(\) on the query path"
+}
+
+// noSink has no emission plumbing and this package is not scoped in, so
+// a fresh root is legal here.
+func noSink(s *store) int {
+	return s.queryCtx(context.Background(), "q")
+}
+
+// streamRootCtx threads the caller's ctx alongside the sink — the
+// correct shape.
+func streamRootCtx(ctx context.Context, s *store, so StreamOptions) int {
+	return s.queryCtx(ctx, "q")
+}
+
+// streamQueryCtx is a Ctx variant for the wrapper below.
+func streamQueryCtx(ctx context.Context, s *store, so StreamOptions) int {
+	return s.queryCtx(ctx, "q")
+}
+
+// streamQuery is the sanctioned compatibility-wrapper shape — one
+// delegating call to its own Ctx sibling seeded with a fresh root —
+// which stays exempt even though it carries a sink.
+func streamQuery(s *store, so StreamOptions) int {
+	return streamQueryCtx(context.Background(), s, so)
+}

@@ -13,6 +13,7 @@ package coverage
 
 import (
 	"fmt"
+	"time"
 
 	"kbtim/internal/pool"
 )
@@ -32,6 +33,41 @@ type Result struct {
 	Seeds    []uint32 // selected vertices, in selection order
 	Marginal []int    // Marginal[i] = newly covered sets when Seeds[i] was picked
 	Covered  int      // total sets covered
+	Partial  bool     // true when a deadline stopped the run before k picks
+}
+
+// SolveOptions carries the anytime-query hooks shared by Solve and
+// SolveLazy. The zero value means "batch": no emission, no deadline, and
+// SolveOpts(in, k, members, SolveOptions{}) is byte-identical to
+// Solve(in, k, members).
+type SolveOptions struct {
+	// Emit, when non-nil, is called synchronously the moment a seed is
+	// selected, before the next greedy iteration starts. Seeds arrive in
+	// selection order; the concatenation of emitted (seed, marginal)
+	// pairs always equals the returned Result prefix.
+	Emit func(seed uint32, marginal int)
+	// Deadline, when non-zero, bounds the run: the solver checks it
+	// before each greedy pick and, once expired, returns the certified
+	// prefix selected so far with Partial=true instead of an error.
+	Deadline time.Time
+}
+
+// expired reports whether the deadline has passed. A zero deadline never
+// expires.
+func (so *SolveOptions) expired() bool {
+	return !so.Deadline.IsZero() && time.Now().After(so.Deadline)
+}
+
+// emit appends a pick to res and forwards it to the sink, if any. Both
+// solvers funnel every selection — including zero-marginal padding done by
+// callers via the same contract — through this one ordering.
+func (so *SolveOptions) emit(res *Result, seed uint32, marginal int) {
+	res.Seeds = append(res.Seeds, seed)
+	res.Marginal = append(res.Marginal, marginal)
+	res.Covered += marginal
+	if so.Emit != nil {
+		so.Emit(seed, marginal)
+	}
 }
 
 // Validate checks instance consistency.
@@ -61,6 +97,13 @@ func (in *Instance) Validate() error {
 // yield the vertices of a set; the disk indexes supply it from R, the
 // in-memory path from the batch.
 func Solve(in *Instance, k int, members func(setID int32) []uint32) (Result, error) {
+	return SolveOpts(in, k, members, SolveOptions{})
+}
+
+// SolveOpts is Solve with anytime hooks: each pick is forwarded to so.Emit
+// as it is certified, and an expired so.Deadline ends the run early with the
+// prefix selected so far (Partial=true).
+func SolveOpts(in *Instance, k int, members func(setID int32) []uint32, so SolveOptions) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -78,6 +121,10 @@ func Solve(in *Instance, k int, members func(setID int32) []uint32) (Result, err
 	defer pool.PutBools(picked)
 	var res Result
 	for iter := 0; iter < k && iter < in.NumVertices; iter++ {
+		if so.expired() {
+			res.Partial = true
+			break
+		}
 		best, bestCount := -1, -1
 		for v := 0; v < in.NumVertices; v++ {
 			if !picked[v] && counts[v] > bestCount {
@@ -88,9 +135,7 @@ func Solve(in *Instance, k int, members func(setID int32) []uint32) (Result, err
 			break
 		}
 		picked[best] = true
-		res.Seeds = append(res.Seeds, uint32(best))
-		res.Marginal = append(res.Marginal, bestCount)
-		res.Covered += bestCount
+		so.emit(&res, uint32(best), bestCount)
 		for _, setID := range in.Lists[best] {
 			if covered[setID] {
 				continue
@@ -183,6 +228,11 @@ func (h *celfHeap) pop() celfEntry {
 // bounds). Returns exactly the same seeds as Solve under the shared
 // tie-breaking rule.
 func SolveLazy(in *Instance, k int, members func(setID int32) []uint32) (Result, error) {
+	return SolveLazyOpts(in, k, members, SolveOptions{})
+}
+
+// SolveLazyOpts is SolveLazy with the same anytime hooks as SolveOpts.
+func SolveLazyOpts(in *Instance, k int, members func(setID int32) []uint32, so SolveOptions) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -221,10 +271,15 @@ func SolveLazy(in *Instance, k int, members func(setID int32) []uint32) (Result,
 			h.fix0()
 			continue
 		}
+		// The deadline gates the pick, not the refresh churn above: an entry
+		// that is about to be selected is a certified greedy choice, so the
+		// boundary between iterations is the only safe cut point.
+		if so.expired() {
+			res.Partial = true
+			break
+		}
 		h.pop()
-		res.Seeds = append(res.Seeds, top.vertex)
-		res.Marginal = append(res.Marginal, top.count)
-		res.Covered += top.count
+		so.emit(&res, top.vertex, top.count)
 		for _, setID := range in.Lists[top.vertex] {
 			covered[setID] = true
 		}

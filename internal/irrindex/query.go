@@ -291,6 +291,11 @@ type QueryResult struct {
 	// artifact was consumed without any read OR decode.
 	DecodedHits   int64
 	DecodedMisses int64
+	// Partial is true when a streaming deadline stopped the NRA loop before
+	// k seeds: Seeds is the certified prefix (every entry was decided by the
+	// usual COMPLETE ∧ ub ≥ Σkb test — never a guess), and EstSpread is the
+	// spread of that prefix, a lower bound on the full answer's.
+	Partial bool
 }
 
 // decCounters accumulates one query's decoded-cache traffic.
@@ -444,6 +449,14 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 	return QueryMultiCtx(ctx, func(int) *Index { return idx }, q)
 }
 
+// QueryStreamCtx is QueryCtx with anytime hooks: so.Emit receives each seed
+// the moment the NRA test certifies it — typically long before every
+// partition is loaded — and an expired so.Deadline returns the certified
+// prefix so far with Partial=true instead of an error.
+func (idx *Index) QueryStreamCtx(ctx context.Context, q topic.Query, so wris.StreamOptions) (*QueryResult, error) {
+	return QueryMultiStreamCtx(ctx, func(int) *Index { return idx }, q, so)
+}
+
 // QueryMulti answers a KB-TIM query with Algorithm 4 over a
 // keyword-partitioned set of indexes: owner(w) returns the Index holding
 // keyword w (nil = not indexed anywhere). The NRA aggregation is already
@@ -467,6 +480,22 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 // query's I/O scope), so cancellation never leaks a goroutine into a
 // released index handle.
 func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	return QueryMultiStreamCtx(ctx, owner, q, wris.StreamOptions{})
+}
+
+// QueryMultiStreamCtx is QueryMultiCtx with anytime hooks; QueryMultiCtx is
+// this function with zero options, so batch and streaming share one body and
+// parity holds by construction. so.Emit is invoked synchronously the moment
+// the NRA certification test (heap top COMPLETE with ub ≥ Σ_w kb[w]) decides
+// a seed — the defining win of the IRR layout is that this happens while
+// partitions are still unloaded — carrying the seed, its marginal, and the
+// running spread lower bound Covered/θ^Q·φ^Q of the emitted prefix. A
+// non-zero so.Deadline is checked at the same partition-round boundary as
+// cancellation; once expired the loop stops and returns the certified prefix
+// with Partial=true (zero-marginal padding is skipped — padding is only
+// correct once every partition is decided, which a cut-short query cannot
+// claim).
+func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query, so wris.StreamOptions) (*QueryResult, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -783,6 +812,25 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 	res := &QueryResult{Loaded: make(map[int]int, len(states))}
 	picked := pool.Bools(nv)
 	defer func() { pool.PutBools(picked) }()
+	// θ^Q = Σ_w θ^Q_w and φ^Q are both fixed by the plan before any seed is
+	// selected, so the running spread lower bound of an emitted prefix uses
+	// the same formula as the final EstSpread — emissions never over-promise.
+	totalTheta := 0
+	for _, st := range states {
+		totalTheta += st.thetaQw
+	}
+	// emit is THE way a seed enters the result — certified picks and
+	// zero-marginal padding both funnel through it, so the emitted stream and
+	// the returned batch prefix are equal by construction.
+	emit := func(seed uint32, marginal int) {
+		picked[seed] = true
+		res.Seeds = append(res.Seeds, seed)
+		res.Marginals = append(res.Marginals, marginal)
+		res.Covered += marginal
+		if so.Emit != nil {
+			so.Emit(seed, marginal, float64(res.Covered)/float64(totalTheta)*phiQ)
+		}
+	}
 	// padZeros fills the remaining seed slots with zero-marginal vertices in
 	// exactly coverage.Solve's order: smallest unpicked vertex ID over ALL
 	// vertices, listed in an inverted file or not. Using the candidate heap
@@ -792,18 +840,21 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 	padZeros := func() {
 		for v := 0; len(res.Seeds) < q.K && v < nv; v++ {
 			if !picked[v] {
-				picked[v] = true
-				res.Seeds = append(res.Seeds, uint32(v))
-				res.Marginals = append(res.Marginals, 0)
+				emit(uint32(v), 0)
 			}
 		}
 	}
 	for len(res.Seeds) < q.K {
 		// The partition-round boundary: each iteration fetches at most one
 		// round of partitions, so a canceled client's query stops within one
-		// round instead of running Algorithm 4 to completion.
+		// round instead of running Algorithm 4 to completion. The anytime
+		// deadline shares the boundary, but keeps the certified prefix.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		if so.Expired() {
+			res.Partial = true
+			break
 		}
 		if h.len() == 0 {
 			// The heap drained, but undiscovered users in unloaded
@@ -850,10 +901,7 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 				break
 			}
 			h.pop()
-			picked[top.user] = true
-			res.Seeds = append(res.Seeds, top.user)
-			res.Marginals = append(res.Marginals, ub)
-			res.Covered += ub
+			emit(top.user, ub)
 			for _, st := range states {
 				for _, id := range st.lists[top.user] {
 					st.covered[id] = true
@@ -889,14 +937,12 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 	// reported decoded hits/misses cover exactly the lookups whose I/O the
 	// scope recorded.
 	drainPrefetch(true)
-	total := 0
 	for _, st := range states {
-		total += st.thetaQw
 		res.Loaded[st.topicID] = st.loaded
 		res.NumRRSets += st.loaded
 		res.PartitionsLoaded += st.fetched
 	}
-	res.EstSpread = float64(res.Covered) / float64(total) * phiQ
+	res.EstSpread = float64(res.Covered) / float64(totalTheta) * phiQ
 	if multi {
 		for _, s := range scopes {
 			res.IO = res.IO.Add(s.Stats())

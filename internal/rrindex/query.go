@@ -223,6 +223,10 @@ type QueryResult struct {
 	// artifact was consumed without any read OR decode.
 	DecodedHits   int64
 	DecodedMisses int64
+	// Partial is true when a streaming deadline stopped the query before
+	// the full answer: Seeds is the certified prefix selected so far
+	// (possibly empty if the deadline expired during artifact loading).
+	Partial bool
 }
 
 // decCounters accumulates one query's decoded-cache traffic.
@@ -332,6 +336,13 @@ func (idx *Index) QueryCtx(ctx context.Context, q topic.Query) (*QueryResult, er
 	return QueryMultiCtx(ctx, func(int) *Index { return idx }, q)
 }
 
+// QueryStreamCtx is QueryCtx with anytime hooks: so.Emit receives each seed
+// the moment greedy selection certifies it, and an expired so.Deadline
+// returns the best certified prefix with Partial=true instead of an error.
+func (idx *Index) QueryStreamCtx(ctx context.Context, q topic.Query, so wris.StreamOptions) (*QueryResult, error) {
+	return QueryMultiStreamCtx(ctx, func(int) *Index { return idx }, q, so)
+}
+
 // QueryMulti answers a KB-TIM query with Algorithm 2 over a
 // keyword-partitioned set of indexes: owner(w) returns the Index holding
 // keyword w (nil = not indexed anywhere). Per-keyword artifacts are
@@ -352,6 +363,25 @@ func QueryMulti(owner func(topic int) *Index, q topic.Query) (*QueryResult, erro
 // solve. A canceled query returns ctx.Err() wrapped in the usual keyword
 // error context.
 func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query) (*QueryResult, error) {
+	return QueryMultiStreamCtx(ctx, owner, q, wris.StreamOptions{})
+}
+
+// errDeadline marks a keyword fetch abandoned because the streaming deadline
+// expired — the anytime path's "stop now" signal, converted to a Partial
+// result (never surfaced as an error) before QueryMultiStreamCtx returns.
+var errDeadline = errors.New("rrindex: query deadline expired")
+
+// QueryMultiStreamCtx is QueryMultiCtx with anytime hooks; QueryMultiCtx is
+// this function with zero options, so the batch path and the streaming path
+// are one body and parity holds by construction. so.Emit receives each seed
+// synchronously as greedy selection certifies it, with the running spread
+// lower bound of the emitted prefix. A non-zero so.Deadline turns timeout
+// into degradation: the query checks the deadline at every keyword-load
+// boundary and before every greedy pick, and once expired returns whatever
+// prefix is certified so far with Partial=true (RR certifies nothing until
+// all artifacts are merged, so a deadline during loading yields an empty
+// Partial result).
+func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q topic.Query, so wris.StreamOptions) (*QueryResult, error) {
 	start := time.Now()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -465,8 +495,14 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 	arts := make([]kwArtifacts, len(q.Topics))
 	fetchOne := func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
 		// The keyword-load boundary is the cancellation unit: a canceled
-		// query abandons every keyword it has not started yet.
+		// query abandons every keyword it has not started yet. The anytime
+		// deadline shares the boundary, but resolves to a Partial result
+		// below instead of an error.
 		if a.err = ctx.Err(); a.err != nil {
+			return
+		}
+		if so.Expired() {
+			a.err = errDeadline
 			return
 		}
 		a.batch, a.err = ix.setsPrefix(ctx, r, d, t, &a.dec)
@@ -522,12 +558,38 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 			}
 		}
 	}()
+	deadlineHit := false
 	for i, w := range q.Topics {
 		a := &arts[i]
 		dec.add(a.dec)
+		if errors.Is(a.err, errDeadline) {
+			deadlineHit = true
+			continue
+		}
 		if a.err != nil {
 			return nil, fmt.Errorf("rrindex: keyword %d: %w", w, a.err)
 		}
+	}
+	if deadlineHit {
+		// The deadline expired while artifacts were still loading: RR-greedy
+		// certifies no seed before every keyword's sets are merged, so the
+		// best certified prefix is empty. Report what was spent and stop.
+		var io diskio.Stats
+		if multi {
+			for _, s := range scopes {
+				io = io.Add(s.Stats())
+			}
+		} else {
+			io = scope0.Stats()
+		}
+		return &QueryResult{
+			Result:        wris.Result{Elapsed: time.Since(start)},
+			IO:            io,
+			Loaded:        loaded,
+			DecodedHits:   dec.hits,
+			DecodedMisses: dec.misses,
+			Partial:       true,
+		}, nil
 	}
 
 	// Merge pass 1: per-vertex pair counts, so the query lists can live in
@@ -606,7 +668,18 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 		}
 		return nil
 	}
-	res, err := coverage.Solve(inst, q.K, members)
+	// total and phiQ are both known before selection starts (the plan fixed
+	// them), so the running spread lower bound of an emitted prefix uses the
+	// same formula as the final EstSpread — emissions never over-promise.
+	sopts := coverage.SolveOptions{Deadline: so.Deadline}
+	if so.Emit != nil {
+		running := 0
+		sopts.Emit = func(seed uint32, marginal int) {
+			running += marginal
+			so.Emit(seed, marginal, float64(running)/float64(total)*phiQ)
+		}
+	}
+	res, err := coverage.SolveOpts(inst, q.K, members, sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -631,6 +704,7 @@ func QueryMultiCtx(ctx context.Context, owner func(topic int) *Index, q topic.Qu
 		Loaded:        loaded,
 		DecodedHits:   dec.hits,
 		DecodedMisses: dec.misses,
+		Partial:       res.Partial,
 	}, nil
 }
 

@@ -1,0 +1,30 @@
+package wris
+
+import "time"
+
+// EmitFunc receives one certified seed the moment a query-processing path
+// selects it: the seed, its marginal coverage, and the running spread lower
+// bound (the spread of the emitted prefix — certified, never a guess).
+// Implementations run synchronously on the query goroutine and must not
+// block longer than they want the query stalled.
+type EmitFunc func(seed uint32, marginal int, spreadLB float64)
+
+// StreamOptions carries the anytime-query hooks shared by the RR and IRR
+// query paths. The zero value means "batch": no emission, no deadline, and
+// the streaming entry points degrade to exactly the batch code path.
+type StreamOptions struct {
+	// Emit, when non-nil, is invoked per certified seed in selection
+	// order; the concatenated emissions always equal the returned result
+	// prefix byte-for-byte.
+	Emit EmitFunc
+	// Deadline, when non-zero, bounds the query: once it passes, the
+	// query returns the best certified prefix so far with Partial=true
+	// instead of an error.
+	Deadline time.Time
+}
+
+// Expired reports whether the deadline has passed. A zero deadline never
+// expires.
+func (so *StreamOptions) Expired() bool {
+	return !so.Deadline.IsZero() && time.Now().After(so.Deadline)
+}

@@ -266,6 +266,13 @@ func (s *Sharded) QueryRR(q Query) (*Result, error) {
 // per-shard worker slots and at every keyword-load boundary of the query
 // itself.
 func (s *Sharded) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
+	return s.QueryRRStreamCtx(ctx, q, StreamOptions{})
+}
+
+// QueryRRStreamCtx is QueryRRCtx with anytime hooks — the fast path streams
+// from the owning engine, a spanning query streams from the exact
+// cross-index merge, with identical emissions either way.
+func (s *Sharded) QueryRRStreamCtx(ctx context.Context, q Query, so StreamOptions) (*Result, error) {
 	tq := q.internal()
 	shards := s.involved(tq.Topics)
 	if len(shards) == 0 {
@@ -277,19 +284,19 @@ func (s *Sharded) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 	}
 	defer release()
 	if len(shards) == 1 {
-		return s.engines[shards[0]].QueryRRCtx(ctx, q)
+		return s.engines[shards[0]].QueryRRStreamCtx(ctx, q, so)
 	}
 	handles, done, err := s.pin(shards, (*Engine).acquireRR)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	r, err := rrindex.QueryMultiCtx(ctx, func(w int) *rrindex.Index {
+	r, err := rrindex.QueryMultiStreamCtx(ctx, func(w int) *rrindex.Index {
 		if h := handles[s.sm.Owner(w)]; h != nil {
 			return h.rr
 		}
 		return nil
-	}, tq)
+	}, tq, so.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -299,6 +306,7 @@ func (s *Sharded) QueryRRCtx(ctx context.Context, q Query) (*Result, error) {
 		EstSpread: r.EstSpread,
 		NumRRSets: r.NumRRSets,
 		IO:        ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
+		Partial:   r.Partial,
 		Elapsed:   r.Elapsed,
 	}, nil
 }
@@ -313,6 +321,13 @@ func (s *Sharded) QueryIRR(q Query) (*Result, error) {
 // per-shard worker slots and at every keyword-load and NRA partition-round
 // boundary of the query itself.
 func (s *Sharded) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
+	return s.QueryIRRStreamCtx(ctx, q, StreamOptions{})
+}
+
+// QueryIRRStreamCtx is QueryIRRCtx with anytime hooks; routing matches
+// QueryRRStreamCtx's, and the NRA merge certifies (and so emits) seeds
+// before every shard's partitions are loaded, exactly as on one engine.
+func (s *Sharded) QueryIRRStreamCtx(ctx context.Context, q Query, so StreamOptions) (*Result, error) {
 	tq := q.internal()
 	shards := s.involved(tq.Topics)
 	if len(shards) == 0 {
@@ -324,19 +339,19 @@ func (s *Sharded) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
 	}
 	defer release()
 	if len(shards) == 1 {
-		return s.engines[shards[0]].QueryIRRCtx(ctx, q)
+		return s.engines[shards[0]].QueryIRRStreamCtx(ctx, q, so)
 	}
 	handles, done, err := s.pin(shards, (*Engine).acquireIRR)
 	if err != nil {
 		return nil, err
 	}
 	defer done()
-	r, err := irrindex.QueryMultiCtx(ctx, func(w int) *irrindex.Index {
+	r, err := irrindex.QueryMultiStreamCtx(ctx, func(w int) *irrindex.Index {
 		if h := handles[s.sm.Owner(w)]; h != nil {
 			return h.irr
 		}
 		return nil
-	}, tq)
+	}, tq, so.internal())
 	if err != nil {
 		return nil, err
 	}
@@ -347,6 +362,7 @@ func (s *Sharded) QueryIRRCtx(ctx context.Context, q Query) (*Result, error) {
 		NumRRSets:        r.NumRRSets,
 		IO:               ioStats(r.IO, r.DecodedHits, r.DecodedMisses),
 		PartitionsLoaded: r.PartitionsLoaded,
+		Partial:          r.Partial,
 		Elapsed:          r.Elapsed,
 	}, nil
 }
