@@ -111,7 +111,14 @@ type fanout struct {
 	groups []*shardGroup
 	nodes  []*fanoutNode // flattened (shard-major) for stats and health scans
 	hc     *http.Client  // proxy/health/stats transport (per-request ctx bounds it)
-	next   atomic.Uint64 // replicate-mode group rotation
+	// artifactHC is the ONE tuned client every backend's artifact fetches
+	// share: a spanning query issues one batch POST per owning group per
+	// round, and those must ride already-warm connections — a per-node
+	// default client would keep only 2 idle connections per host and re-pay
+	// TCP setup every round. It shares its transport (and so its idle pool)
+	// with hc.
+	artifactHC *http.Client
+	next       atomic.Uint64 // replicate-mode group rotation
 
 	proxCnt        atomic.Int64
 	scatCnt        atomic.Int64
@@ -137,6 +144,7 @@ type fanoutConfig struct {
 	decBudget    int64 // PER-GROUP decoded-cache byte budget (caller splits the global flag)
 	cacheShards  int
 	queryPar     int
+	maxIdleConns int // idle keep-alive connections kept per backend (-max-idle-conns; <=0 = default 32)
 	proxyTimeout time.Duration
 	healthTTL    time.Duration // TTL of cached /healthz verdicts (0 = probe every time)
 	probeTimeout time.Duration // per-probe bound on /healthz round trips
@@ -222,9 +230,14 @@ func openFanout(groups [][]string, cfg fanoutConfig) (*fanout, error) {
 			return nil, err
 		}
 	}
+	// One keep-alive transport serves every router→backend call — proxied
+	// queries, health probes, and artifact traffic alike — so a backend's
+	// warm connections are shared across paths instead of competing pools.
+	tr := remote.NewTransport(cfg.maxIdleConns)
 	f := &fanout{
 		mode:         cfg.mode,
-		hc:           &http.Client{}, // per-request contexts bound proxy calls
+		hc:           &http.Client{Transport: tr}, // per-request contexts bound proxy calls
+		artifactHC:   &http.Client{Timeout: cfg.proxyTimeout, Transport: tr},
 		healthTTL:    cfg.healthTTL,
 		probeTimeout: cfg.probeTimeout,
 		proxyTimeout: cfg.proxyTimeout,
@@ -280,7 +293,7 @@ func (f *fanout) openGroup(si int, urls []string, cfg fanoutConfig) (*shardGroup
 	g := &shardGroup{f: f, shard: si}
 	clients := make([]*remote.Client, 0, len(urls))
 	for _, u := range urls {
-		n := &fanoutNode{url: u, shard: si, client: remote.NewClient(u, nil)}
+		n := &fanoutNode{url: u, shard: si, client: remote.NewClient(u, f.artifactHC)}
 		g.nodes = append(g.nodes, n)
 		clients = append(clients, n.client)
 	}
@@ -834,6 +847,10 @@ func (f *fanout) RouterStats(ctx context.Context) *routerStatsJSON {
 		gstats.Retries += s.Retries
 		gstats.Failovers += s.Failovers
 	}
+	wire := remote.WireStats{}
+	for _, n := range f.nodes {
+		wire = wire.Add(n.client.Stats())
+	}
 	out := &routerStatsJSON{
 		Mode:            string(f.mode),
 		ProxyTimeoutSec: f.proxyTimeout.Seconds(),
@@ -843,7 +860,12 @@ func (f *fanout) RouterStats(ctx context.Context) *routerStatsJSON {
 		Scattered:       f.scatCnt.Load(),
 		Retries:         f.proxyRetries.Load() + gstats.Retries,
 		Failovers:       f.proxyFailovers.Load() + gstats.Failovers,
+		FetchRequests:   wire.Fetches,
+		BatchedUnits:    wire.BatchedUnits,
 		Backends:        make([]routerBackendJSON, len(f.nodes)),
+	}
+	if wire.Fetches > 0 {
+		out.UnitsPerRequest = float64(wire.BatchedUnits) / float64(wire.Fetches)
 	}
 	for _, n := range f.nodes {
 		if !n.brk.allow() {
@@ -866,6 +888,9 @@ func (f *fanout) RouterStats(ctx context.Context) *routerStatsJSON {
 				Proxied:         n.proxied.Load(),
 				ArtifactFetches: ws.Fetches,
 				WireBytes:       ws.Bytes,
+				BatchedUnits:    ws.BatchedUnits,
+				WireBytesBatch:  ws.BatchBytes,
+				WireBytesUnit:   ws.Bytes - ws.BatchBytes,
 			}
 			if raw := f.scrapeStats(ctx, n); raw != nil {
 				b.Stats = raw

@@ -166,6 +166,28 @@ func TestRouterThreeWayParity(t *testing.T) {
 			t.Fatalf("backend %d never participated in a query", i)
 		}
 	}
+	// The scattered queries must have traveled BATCHED: the /stats wire
+	// counters show more units delivered inside batch replies than wire
+	// round trips issued in total — the whole point of the v2 protocol.
+	resp, err := http.Get(c.router.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Router == nil {
+		t.Fatal("/stats has no router section")
+	}
+	if stats.Router.BatchedUnits <= stats.Router.FetchRequests {
+		t.Fatalf("batching did not amortize the wire: %d batched units over %d fetch requests",
+			stats.Router.BatchedUnits, stats.Router.FetchRequests)
+	}
+	if stats.Router.UnitsPerRequest <= 1 {
+		t.Fatalf("units_per_request = %v, want > 1", stats.Router.UnitsPerRequest)
+	}
 }
 
 // TestRouterStatsAndHealth: the router's /stats carries the per-backend
@@ -208,6 +230,14 @@ func TestRouterStatsAndHealth(t *testing.T) {
 		if b.Stats == nil {
 			t.Fatalf("backend %d stats not embedded", i)
 		}
+		if b.WireBytesBatch+b.WireBytesUnit != b.WireBytes {
+			t.Fatalf("backend %d wire bytes do not split: batch %d + unit %d != total %d",
+				i, b.WireBytesBatch, b.WireBytesUnit, b.WireBytes)
+		}
+	}
+	if stats.Router.FetchRequests == 0 || stats.Router.BatchedUnits == 0 {
+		t.Fatalf("spanning warmup moved no batched artifacts: fetch_requests=%d batched_units=%d",
+			stats.Router.FetchRequests, stats.Router.BatchedUnits)
 	}
 	if stats.Router.Proxied+stats.Router.Scattered == 0 {
 		t.Fatal("router counted no traffic")

@@ -109,6 +109,7 @@ func run(args []string) error {
 		proxyTO     = fs.Duration("proxy-timeout", 30*time.Second, "per-call deadline for router→backend opens and proxied queries (router mode)")
 		healthTTL   = fs.Duration("health-ttl", 2*time.Second, "how long a backend /healthz verdict is cached before re-probing (router mode)")
 		probeTO     = fs.Duration("probe-timeout", 2*time.Second, "per-probe deadline for backend /healthz round trips (router mode)")
+		maxIdle     = fs.Int("max-idle-conns", 0, "idle keep-alive connections kept per backend host (0 = default 32; router mode)")
 		deadlineDef = fs.Duration("deadline", 0, "default anytime deadline per query: past it the reply is the best certified seed prefix, partial=true (0 = none; per-request deadline_ms overrides)")
 		model       = fs.String("model", "IC", "propagation model: IC | LT")
 		epsilon     = fs.Float64("epsilon", 0.3, "approximation ε")
@@ -172,6 +173,7 @@ func run(args []string) error {
 		cfg.proxyTimeout = *proxyTO
 		cfg.healthTTL = *healthTTL
 		cfg.probeTimeout = *probeTO
+		cfg.maxIdleConns = *maxIdle
 		fo, err := openFanout(groups, cfg)
 		if err != nil {
 			return err

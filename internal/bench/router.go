@@ -43,6 +43,11 @@ type RouterThroughputPoint struct {
 	// this point (zero for the local topologies; proxied query traffic is
 	// not artifact wire and is excluded).
 	WireKB float64
+	// RoundTripsPerQuery is the mean artifact wire requests (batch POSTs and
+	// per-unit GETs alike) per query of this point — the latency currency
+	// batching spends down: per-unit fetching pays one round trip per
+	// keyword-partition, batching one per backend per planning round.
+	RoundTripsPerQuery float64
 }
 
 // routerWorkers is the closed-loop client sweep of the router experiment.
@@ -163,11 +168,11 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 	defer closeFiles()
 
 	var points []RouterThroughputPoint
-	addPoints := func(topology string, query func(topic.Query) (*irrindex.QueryResult, error), wire func() float64) error {
+	addPoints := func(topology string, query func(topic.Query) (*irrindex.QueryResult, error), wire func() (bytes, trips float64)) error {
 		for _, workers := range routerWorkers(env) {
-			before := 0.0
+			beforeB, beforeT := 0.0, 0.0
 			if wire != nil {
-				before = wire()
+				beforeB, beforeT = wire()
 			}
 			p, err := runClosedLoop(query, queries, workers, queriesPerWorker)
 			if err != nil {
@@ -178,7 +183,11 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 				Queries: p.Queries, Scatter: scatter, QPS: p.QPS, MeanMS: p.MeanMS,
 			}
 			if wire != nil {
-				pt.WireKB = (wire() - before) / 1024
+				afterB, afterT := wire()
+				pt.WireKB = (afterB - beforeB) / 1024
+				if p.Queries > 0 {
+					pt.RoundTripsPerQuery = (afterT - beforeT) / float64(p.Queries)
+				}
 			}
 			points = append(points, pt)
 		}
@@ -233,7 +242,9 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 			return nil, err
 		}
 		mux := http.NewServeMux()
-		mux.Handle(remote.ArtifactPath, remote.NewHandler(remote.IndexSource{IRR: servedIdx}))
+		src := remote.IndexSource{IRR: servedIdx}
+		mux.Handle(remote.ArtifactPath, remote.NewHandler(src))
+		mux.Handle(remote.BatchPath, remote.NewBatchHandler(src))
 		mux.Handle("/query", benchQueryHandler(servedIdx))
 		srv := httptest.NewServer(mux)
 		defer srv.Close()
@@ -245,6 +256,10 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 			return nil, err
 		}
 		rIdx.SetDecodedCache(objcache.NewSharded(cacheBudget/shards, 0))
+		// Match the real router's default query parallelism: it also arms
+		// the speculative batch lookahead, so spanning queries plan multi-
+		// round chunks instead of one round trip per partition step.
+		rIdx.SetQueryParallelism(2)
 		nodes[s] = &benchNode{srv: srv, client: client, remote: rIdx}
 	}
 	remoteOwner := func(w int) *irrindex.Index {
@@ -299,16 +314,17 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 			PartitionsLoaded: qr.PartitionsLoaded,
 		}, nil
 	}
-	wireBytes := func() float64 {
-		total := int64(0)
+	wireStats := func() (bytes, trips float64) {
 		for _, n := range nodes {
 			if n != nil {
-				total += n.client.Stats().Bytes
+				ws := n.client.Stats()
+				bytes += float64(ws.Bytes)
+				trips += float64(ws.Fetches)
 			}
 		}
-		return float64(total)
+		return bytes, trips
 	}
-	if err := addPoints("2-node router", routerQuery, wireBytes); err != nil {
+	if err := addPoints("2-node router", routerQuery, wireStats); err != nil {
 		return nil, err
 	}
 	return points, nil
@@ -317,7 +333,7 @@ func RunRouterThroughput(ctx context.Context, env *Env, f Family) ([]RouterThrou
 // RouterThroughput prints the cross-node serving experiment.
 func RouterThroughput(ctx context.Context, w io.Writer, env *Env) error {
 	t := newTable("Router serving: one engine vs in-process shards vs 2-node HTTP router",
-		"dataset", "topology", "workers", "queries", "scatter", "q/s", "mean-ms", "wire-KB")
+		"dataset", "topology", "workers", "queries", "scatter", "q/s", "mean-ms", "wire-KB", "rt/q")
 	families := []Family{News}
 	if env.Cfg.Full {
 		families = []Family{News, Twitter}
@@ -331,9 +347,9 @@ func RouterThroughput(ctx context.Context, w io.Writer, env *Env) error {
 			t.add(string(f), p.Topology, p.Workers, p.Queries,
 				fmt.Sprintf("%.2f", p.Scatter),
 				fmt.Sprintf("%.1f", p.QPS), fmt.Sprintf("%.2f", p.MeanMS),
-				fmt.Sprintf("%.0f", p.WireKB))
+				fmt.Sprintf("%.0f", p.WireKB), fmt.Sprintf("%.1f", p.RoundTripsPerQuery))
 		}
 	}
-	t.addf("(constant 16 MiB total decoded cache per topology; wire-KB = artifact bytes the router fetched; results identical across topologies)")
+	t.addf("(constant 16 MiB total decoded cache per topology; wire-KB = artifact bytes the router fetched; rt/q = artifact wire round trips per query; results identical across topologies)")
 	return t.write(w)
 }

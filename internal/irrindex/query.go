@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"kbtim/internal/artifact"
 	"kbtim/internal/binfmt"
 	"kbtim/internal/diskio"
 	"kbtim/internal/objcache"
@@ -62,6 +63,20 @@ const (
 // results — are bit-identical to a local open of the same file.
 type Fetcher interface {
 	Fetch(ctx context.Context, unit string, topic int, aux int64) ([]byte, error)
+}
+
+// BatchFetcher is an optional Fetcher upgrade: one call moves a whole round
+// of artifacts in (ideally) one wire round trip. FetchBatch must return
+// exactly len(reqs) replies in request order, isolating failures per unit;
+// each successful payload obeys the same bit-identity contract as Fetch.
+// When the NRA query loop finds a BatchFetcher behind a remote index, each
+// fetch round plans its needs — every keyword's next partition plus the
+// speculative lookahead — and moves them in one batch per owning backend;
+// per-unit Fetch remains the fallback for everything else, so results are
+// byte-identical either way.
+type BatchFetcher interface {
+	Fetcher
+	FetchBatch(ctx context.Context, reqs []artifact.Request) []artifact.Reply
 }
 
 // ErrNoArtifact marks an artifact request whose NAME does not resolve on
@@ -184,6 +199,19 @@ func (idx *Index) artifact(ctx context.Context, r diskio.Segmented, unit string,
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// A batch-planned round has already moved this unit over the wire; the
+	// stash rides the query's reader, and consuming an entry (Take removes
+	// it) is the moment its transfer lands in the I/O stats.
+	if st, ok := r.(*artifact.Stashed); ok {
+		if b, ok := st.S.Take(artifact.Request{Unit: unit, Topic: topic, Aux: aux}); ok {
+			if int64(len(b)) != length {
+				return nil, fmt.Errorf("irrindex: remote %s artifact for keyword %d is %d bytes, directory says %d",
+					unit, topic, len(b), length)
+			}
+			r.Counter().Record(off, len(b))
+			return b, nil
+		}
 	}
 	b, err := idx.fetch.Fetch(ctx, unit, topic, aux)
 	if err != nil {
@@ -328,8 +356,10 @@ type kwState struct {
 	// single-index queries, possibly a different shard per keyword under
 	// QueryMulti — and r is that index's per-query I/O scope. Every fetch
 	// for this keyword goes through this pair.
+	// r is a diskio.Segmented rather than a bare scope because the batch
+	// planner reroutes remote keywords through a stash-carrying wrapper.
 	idx     *Index
-	r       *diskio.Scope
+	r       diskio.Segmented
 	dir     *KeywordDir
 	thetaQw int
 	ip      map[uint32]int32 // first occurrence per listed user (shared, read-only)
@@ -687,6 +717,14 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 	h.s = candPool.Get(hintCands)[:0]
 
 	spec := par > 1
+	// Wire batching: every remote batch-capable index gets a per-query stash
+	// and each keyword's reads are rerouted through a stash-carrying reader;
+	// from here on each fetch round PLANS its needs (all keywords' next
+	// partitions plus the speculative lookahead), groups them by owning
+	// index, and moves them in one batch round trip per backend. Local
+	// indexes and plain fetchers make this a no-op.
+	wp := newWirePlanner(states, spec)
+	wp.planInitial(ctx, states)
 	if spec && len(states) > 1 {
 		// Parallel load phase: every keyword's IP table is fetched and
 		// decoded concurrently (bounded by fetchSem), and its first
@@ -862,6 +900,7 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 			// silently skip them. Keep fetching; pad only once every
 			// partition is loaded (then every unpicked vertex is exactly
 			// zero-marginal).
+			wp.planRound(ctx, states)
 			progress := false
 			for _, st := range states {
 				if st.next < st.maxParts {
@@ -911,6 +950,7 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 			continue
 		}
 		// Not decidable yet: fetch the next partition of every keyword.
+		wp.planRound(ctx, states)
 		progress := false
 		for _, st := range states {
 			if st.next < st.maxParts {
@@ -954,6 +994,172 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 	res.DecodedMisses = dec.misses
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// specLookahead is how many partitions ahead of the NRA cursor a batch
+// round fetches per keyword when speculative prefetching is on. Chunking is
+// what turns batching from "fewer, fatter requests" into "fewer wire
+// ROUNDS": a lookahead of L serves ~L NRA rounds from the stash per round
+// trip, at the cost of up to L−1 partitions of over-fetch per keyword when
+// the NRA test certifies early. Partitions are small (length-sorted tails),
+// and with a decoded cache attached over-fetched blocks are warmup, not
+// waste — the same trade the single-partition speculation already makes.
+// Without speculation the planner fetches exactly the round's needs.
+const specLookahead = 4
+
+// wirePlanner batches the query's wire needs per fetch round: one stash per
+// remote batch-capable index, shared by all of that index's keywords and by
+// the per-unit decode path that consumes it (see Index.artifact).
+type wirePlanner struct {
+	stashes map[*Index]*artifact.Stash
+	spec    bool
+}
+
+// newWirePlanner prepares a stash for every involved index whose fetcher is
+// batch-capable and reroutes those keywords' reads through a stash-carrying
+// reader. Queries over local indexes (or plain fetchers) get a planner whose
+// every method is a no-op.
+func newWirePlanner(states []*kwState, spec bool) *wirePlanner {
+	wp := &wirePlanner{spec: spec}
+	for _, st := range states {
+		if st.idx.fetch == nil {
+			continue
+		}
+		if _, ok := st.idx.fetch.(BatchFetcher); !ok {
+			continue
+		}
+		stash := wp.stashes[st.idx]
+		if stash == nil {
+			if wp.stashes == nil {
+				wp.stashes = make(map[*Index]*artifact.Stash)
+			}
+			stash = artifact.NewStash()
+			wp.stashes[st.idx] = stash
+		}
+		st.r = &artifact.Stashed{Segmented: st.r, S: stash}
+	}
+	return wp
+}
+
+// lookahead is the per-keyword partition chunk one batch round asks for.
+func (wp *wirePlanner) lookahead() int {
+	if wp.spec {
+		return specLookahead
+	}
+	return 1
+}
+
+// partCovered reports whether partition pi of st's keyword needs no wire:
+// an in-flight speculative future is fetching it, a prior batch already
+// stashed it, or the decoded cache holds it.
+func (wp *wirePlanner) partCovered(st *kwState, stash *artifact.Stash, pi int) bool {
+	if f := st.pref; f != nil && f.pi == pi {
+		return true
+	}
+	if stash.Has(artifact.Request{Unit: UnitPart, Topic: st.dir.TopicID, Aux: int64(pi)}) {
+		return true
+	}
+	return st.idx.dec != nil &&
+		st.idx.dec.Contains(objcache.Key{Region: regionPart, Topic: int32(st.dir.TopicID), Aux: int64(pi)})
+}
+
+// planInitial batches the query's opening needs — every keyword's IP table
+// and its first partition chunk — into one round trip per owning index.
+func (wp *wirePlanner) planInitial(ctx context.Context, states []*kwState) {
+	if wp.stashes == nil {
+		return
+	}
+	var plans map[*Index][]artifact.Request
+	for _, st := range states {
+		stash := wp.stashes[st.idx]
+		if stash == nil {
+			continue
+		}
+		if plans == nil {
+			plans = make(map[*Index][]artifact.Request)
+		}
+		if st.idx.dec == nil || !st.idx.dec.Contains(objcache.Key{Region: regionIP, Topic: int32(st.dir.TopicID)}) {
+			plans[st.idx] = append(plans[st.idx], artifact.Request{Unit: UnitIP, Topic: st.dir.TopicID})
+		}
+		for pi := 0; pi < wp.lookahead() && pi < st.maxParts; pi++ {
+			if !wp.partCovered(st, stash, pi) {
+				plans[st.idx] = append(plans[st.idx], artifact.Request{Unit: UnitPart, Topic: st.dir.TopicID, Aux: int64(pi)})
+			}
+		}
+	}
+	wp.issue(ctx, plans)
+}
+
+// planRound batches the partitions the coming fetch round will read. It
+// fires only when some keyword's imminent needs (the next partition, plus
+// the speculative next when prefetching is on) are not already covered; a
+// triggered index then gets the full lookahead chunk of EVERY keyword it
+// owns, so the following rounds ride the stash instead of the wire.
+func (wp *wirePlanner) planRound(ctx context.Context, states []*kwState) {
+	if wp.stashes == nil {
+		return
+	}
+	var need map[*Index]bool
+	for _, st := range states {
+		stash := wp.stashes[st.idx]
+		if stash == nil || st.next >= st.maxParts {
+			continue
+		}
+		span := 1
+		if wp.spec {
+			span = 2 // the round consumes next and kicks a prefetch of next+1
+		}
+		for pi := st.next; pi < st.next+span && pi < st.maxParts; pi++ {
+			if !wp.partCovered(st, stash, pi) {
+				if need == nil {
+					need = make(map[*Index]bool)
+				}
+				need[st.idx] = true
+				break
+			}
+		}
+	}
+	if need == nil {
+		return
+	}
+	plans := make(map[*Index][]artifact.Request)
+	for _, st := range states {
+		stash := wp.stashes[st.idx]
+		if stash == nil || !need[st.idx] {
+			continue
+		}
+		for pi := st.next; pi < st.next+wp.lookahead() && pi < st.maxParts; pi++ {
+			if !wp.partCovered(st, stash, pi) {
+				plans[st.idx] = append(plans[st.idx], artifact.Request{Unit: UnitPart, Topic: st.dir.TopicID, Aux: int64(pi)})
+			}
+		}
+	}
+	wp.issue(ctx, plans)
+}
+
+// issue moves each index's plan in one FetchBatch (concurrently across
+// indexes, so a spanning query's backends are hit in parallel) and stashes
+// every successful payload. Failed units are simply not stashed: the
+// per-unit fetch path retries them with its own failover and surfaces
+// errors with the usual keyword context. Single-unit plans are dropped —
+// one POST saves nothing over one GET.
+func (wp *wirePlanner) issue(ctx context.Context, plans map[*Index][]artifact.Request) {
+	var wg sync.WaitGroup
+	for ix, reqs := range plans {
+		if len(reqs) < 2 {
+			continue
+		}
+		wg.Add(1)
+		go func(bf BatchFetcher, stash *artifact.Stash, reqs []artifact.Request) {
+			defer wg.Done()
+			for k, rep := range bf.FetchBatch(ctx, reqs) {
+				if rep.Err == nil {
+					stash.Put(reqs[k], rep.Payload)
+				}
+			}
+		}(ix.fetch.(BatchFetcher), wp.stashes[ix], reqs)
+	}
+	wg.Wait()
 }
 
 // loadIP attaches a keyword's first-occurrence table to st, through the

@@ -234,6 +234,20 @@ func (c *Cache) Shards() int { return len(c.shards) }
 // shardFor maps a key to its shard.
 func (c *Cache) shardFor(key Key) *shard { return c.shards[key.hash()&c.mask] }
 
+// Contains reports whether key is currently cached, without promoting the
+// entry or touching the hit counters — a pure peek. Batch planners use it to
+// peel cache-resident units off a fetch plan before going to the wire; the
+// subsequent GetOrLoad still does the real (promoting, counted) lookup, so
+// accounting is unchanged. An in-flight load does NOT count as cached: the
+// planner cannot consume it, and joining the flight is GetOrLoad's job.
+func (c *Cache) Contains(key Key) bool {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	_, ok := s.entries[key]
+	s.mu.Unlock()
+	return ok
+}
+
 // GetOrLoad returns the artifact for key, running load at most once across
 // concurrent callers. hit is true when this caller did not run the loader
 // (the value came from the cache or from another caller's in-flight load).

@@ -29,36 +29,84 @@ const maxArtifactBytes = 1 << 30
 
 // WireStats is a snapshot of a client's cumulative transfer counters.
 type WireStats struct {
-	// Fetches is the number of artifact requests that returned 200.
+	// Fetches is the number of artifact requests (per-unit GETs and batch
+	// POSTs alike) that returned 200.
 	Fetches int64
 	// Bytes is the total payload bytes those fetches carried.
 	Bytes int64
+	// BatchedUnits is the number of artifact units delivered inside batch
+	// replies. BatchedUnits/Fetches is the units-per-request ratio a healthy
+	// batching deployment keeps well above 1.
+	BatchedUnits int64
+	// BatchBytes is the slice of Bytes that batch replies carried; the
+	// remainder traveled over per-unit v1 fetches.
+	BatchBytes int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (w WireStats) Add(o WireStats) WireStats {
+	w.Fetches += o.Fetches
+	w.Bytes += o.Bytes
+	w.BatchedUnits += o.BatchedUnits
+	w.BatchBytes += o.BatchBytes
+	return w
 }
 
 // Client fetches index artifacts from one serving node. It is safe for
 // concurrent use; every open index created through it shares the client's
 // transfer counters, so a router can report per-backend wire traffic.
 type Client struct {
-	base    string // ".../internal/artifact", no trailing query
-	hc      *http.Client
-	fetches atomic.Int64
-	bytes   atomic.Int64
+	base      string // ".../internal/artifact", no trailing query
+	batchBase string // ".../internal/artifacts"
+	hc        *http.Client
+
+	// batchMode is the learned batch-protocol verdict for this backend
+	// (batchUnknown / batchUnsupported / batchSupported).
+	batchMode atomic.Int32
+
+	fetches      atomic.Int64
+	bytes        atomic.Int64
+	batchedUnits atomic.Int64
+	batchBytes   atomic.Int64
+}
+
+// NewTransport returns an http.Transport tuned for artifact traffic to a
+// small, fixed set of backends: every fetch round should ride an already-warm
+// connection, so the per-host idle pool must hold the router's full fetch
+// parallelism (the stock http.DefaultTransport keeps only 2 idle connections
+// per host and silently closes the rest, re-paying TCP setup every round).
+// maxIdlePerHost <= 0 selects the default of 32.
+func NewTransport(maxIdlePerHost int) *http.Transport {
+	if maxIdlePerHost <= 0 {
+		maxIdlePerHost = 32
+	}
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 0 // unlimited pool overall; the per-host knob governs
+	t.MaxIdleConnsPerHost = maxIdlePerHost
+	t.IdleConnTimeout = 90 * time.Second
+	return t
 }
 
 // NewClient returns a client against the node at base (e.g.
 // "http://host:8080" — ArtifactPath is appended). hc may be nil for a
-// default client with a 30s timeout; routers multiplexing many spanning
-// queries should pass their own tuned client.
+// default client with a 30s timeout over a keep-alive transport
+// (NewTransport); routers multiplexing many spanning queries should pass
+// their own shared tuned client.
 func NewClient(base string, hc *http.Client) *Client {
 	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
+		hc = &http.Client{Timeout: 30 * time.Second, Transport: NewTransport(0)}
 	}
-	return &Client{base: base + ArtifactPath, hc: hc}
+	return &Client{base: base + ArtifactPath, batchBase: base + BatchPath, hc: hc}
 }
 
 // Stats returns the cumulative wire counters.
 func (c *Client) Stats() WireStats {
-	return WireStats{Fetches: c.fetches.Load(), Bytes: c.bytes.Load()}
+	return WireStats{
+		Fetches:      c.fetches.Load(),
+		Bytes:        c.bytes.Load(),
+		BatchedUnits: c.batchedUnits.Load(),
+		BatchBytes:   c.batchBytes.Load(),
+	}
 }
 
 // Fetch retrieves one artifact, returning its payload and the index file

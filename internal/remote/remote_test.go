@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -127,6 +128,7 @@ func newCluster(t *testing.T, cacheBytes int64) *cluster {
 		}
 		mux := http.NewServeMux()
 		mux.Handle(remote.ArtifactPath, remote.NewHandler(eng))
+		mux.Handle(remote.BatchPath, remote.NewBatchHandler(eng))
 		srv := httptest.NewServer(mux)
 		t.Cleanup(srv.Close)
 		client := remote.NewClient(srv.URL, srv.Client())
@@ -276,6 +278,35 @@ func TestRemoteProtocolErrors(t *testing.T) {
 	cancel()
 	if _, _, err := c.clients[0].Fetch(canceled, remote.KindRR, rrindex.UnitDir, 0, 0); err == nil {
 		t.Fatal("canceled fetch succeeded")
+	}
+}
+
+// TestTransportReusesConnections pins the connection-reuse fix: sequential
+// fetches through a NewTransport-backed client must ride the same warm
+// connection (httptrace reports every connection after the first as reused)
+// instead of re-paying TCP setup per round trip.
+func TestTransportReusesConnections(t *testing.T) {
+	c := newCluster(t, 0)
+	srv := httptest.NewServer(proxyTo(t, c.clients[0]))
+	defer srv.Close()
+	cl := remote.NewClient(srv.URL, &http.Client{Transport: remote.NewTransport(4)})
+	var got, reused int
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) {
+			got++
+			if info.Reused {
+				reused++
+			}
+		},
+	})
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		if _, _, err := cl.Fetch(ctx, remote.KindRR, rrindex.UnitDir, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got != rounds || reused != rounds-1 {
+		t.Fatalf("%d fetches used %d connections (%d reused); want every connection after the first reused", rounds, got, reused)
 	}
 }
 

@@ -1,7 +1,9 @@
 package remote_test
 
 import (
+	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"net/http"
 	"net/http/httptest"
@@ -12,6 +14,7 @@ import (
 	"testing"
 
 	"kbtim"
+	"kbtim/internal/artifact"
 	"kbtim/internal/diskio"
 	"kbtim/internal/irrindex"
 	"kbtim/internal/remote"
@@ -63,6 +66,43 @@ func (h *sizeTamper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	h.inner.ServeHTTP(tamperWriter{ResponseWriter: w, delta: h.delta}, r)
 }
 
+// truncBatch models a replica dying MID-BATCH: for the next `cut` batch
+// requests it delivers the real headers plus only the first reply record,
+// then ends the body — the client keeps the parsed prefix and must re-issue
+// just the remainder elsewhere. Non-batch traffic passes through untouched.
+type truncBatch struct {
+	inner http.Handler
+	cut   atomic.Int64
+	hits  atomic.Int64 // batch requests actually truncated
+}
+
+func (h *truncBatch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != remote.BatchPath || h.cut.Add(-1) < 0 {
+		h.inner.ServeHTTP(w, r)
+		return
+	}
+	h.hits.Add(1)
+	rec := httptest.NewRecorder()
+	h.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	end := len(body)
+	if rec.Code == http.StatusOK && len(body) > 1 {
+		// One record = status byte + uvarint length + payload.
+		if n, u := binary.Uvarint(body[1:]); u > 0 && 1+u+int(n) < len(body) {
+			end = 1 + u + int(n)
+		}
+	}
+	for k, vs := range rec.Header() {
+		if k == "Content-Length" {
+			continue
+		}
+		w.Header()[k] = vs
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(end))
+	w.WriteHeader(rec.Code)
+	w.Write(body[:end])
+}
+
 // stubHealth is a hand-driven remote.Health: per-replica availability set by
 // the test, every observation recorded for inspection.
 type stubHealth struct {
@@ -79,10 +119,13 @@ func (h *stubHealth) Observe(i int, err error) {
 
 // replicaCluster is a replicated 2-shard deployment: each shard's engine is
 // exposed through TWO httptest servers (byte-identical replicas by
-// construction), replica 0 of every shard wrapped in a fault injector.
+// construction), replica 0 of every shard wrapped in fault injectors (a
+// whole-request 500 injector and a batch-reply truncator).
 type replicaCluster struct {
 	groups  []*remote.Group
-	flaky   []*flakyHandler // per shard, wraps replica 0
+	flaky   []*flakyHandler   // per shard, wraps replica 0
+	trunc   []*truncBatch     // per shard, wraps replica 0 under flaky
+	clients [][]*remote.Client // per shard, [replica0, replica1]
 	rrIdx   []*rrindex.Index
 	irrIdx  []*irrindex.Index
 	rrLocal *rrindex.Index
@@ -157,16 +200,21 @@ func newReplicaCluster(t *testing.T) *replicaCluster {
 		}
 		mux := http.NewServeMux()
 		mux.Handle(remote.ArtifactPath, remote.NewHandler(eng))
-		fh := &flakyHandler{inner: mux}
+		mux.Handle(remote.BatchPath, remote.NewBatchHandler(eng))
+		tb := &truncBatch{inner: mux}
+		fh := &flakyHandler{inner: tb}
 		srvA := httptest.NewServer(fh)
 		t.Cleanup(srvA.Close)
 		srvB := httptest.NewServer(mux)
 		t.Cleanup(srvB.Close)
 		c.flaky = append(c.flaky, fh)
-		g := remote.NewGroup([]*remote.Client{
+		c.trunc = append(c.trunc, tb)
+		reps := []*remote.Client{
 			remote.NewClient(srvA.URL, srvA.Client()),
 			remote.NewClient(srvB.URL, srvB.Client()),
-		}, nil)
+		}
+		c.clients = append(c.clients, reps)
+		g := remote.NewGroup(reps, nil)
 		c.groups = append(c.groups, g)
 		rr, err := g.OpenRR(ctx)
 		if err != nil {
@@ -240,6 +288,131 @@ func TestGroupFailoverParity(t *testing.T) {
 	}
 	if retries == 0 || failovers == 0 {
 		t.Fatalf("injected faults produced retries=%d failovers=%d; want both > 0", retries, failovers)
+	}
+	// The spanning queries above must actually have traveled batched — the
+	// parity and failover assertions are about the batch path, not a silent
+	// per-unit fallback.
+	var wire remote.WireStats
+	for _, reps := range c.clients {
+		for _, cl := range reps {
+			wire = wire.Add(cl.Stats())
+		}
+	}
+	if wire.BatchedUnits == 0 || wire.BatchedUnits <= wire.Fetches/2 {
+		t.Fatalf("batching never engaged under faults: %d units over %d requests", wire.BatchedUnits, wire.Fetches)
+	}
+}
+
+// TestGroupBatchTruncationFailover is the mid-batch half of the failover
+// invariant: a replica that dies after delivering ONE reply record keeps that
+// record used, and only the unserved remainder is re-issued to the survivor —
+// with every payload byte-identical to a clean per-unit fetch.
+func TestGroupBatchTruncationFailover(t *testing.T) {
+	c := newReplicaCluster(t)
+	ctx := context.Background()
+	g := c.groups[0]
+	// Keywords shard 0 owns, ordered so the batch's routing topic (reqs[0])
+	// prefers replica 0 — the one armed to truncate.
+	var topics []int
+	for w := 0; w < c.sm.NumTopics(); w++ {
+		if c.sm.Owner(w) != 0 {
+			continue
+		}
+		if shardmap.Affinity(w, 2) == 0 {
+			topics = append([]int{w}, topics...)
+		} else {
+			topics = append(topics, w)
+		}
+	}
+	if len(topics) < 3 || shardmap.Affinity(topics[0], 2) != 0 {
+		t.Skip("universe does not give shard 0 three keywords with a replica-0-affine first")
+	}
+	reqs := make([]artifact.Request, len(topics))
+	want := make([][]byte, len(topics))
+	for i, w := range topics {
+		reqs[i] = artifact.Request{Unit: rrindex.UnitInv, Topic: w}
+		b, _, err := g.Fetch(ctx, remote.KindRR, rrindex.UnitInv, w, 0)
+		if err != nil {
+			t.Fatalf("reference fetch topic %d: %v", w, err)
+		}
+		want[i] = b
+	}
+	before := g.Stats()
+	c.trunc[0].cut.Store(1)
+	replies := g.FetchBatch(ctx, remote.KindRR, reqs)
+	if got := c.trunc[0].hits.Load(); got != 1 {
+		t.Fatalf("truncator fired %d times; want exactly 1 (batch routed to replica 0 once)", got)
+	}
+	for i, rep := range replies {
+		if rep.Err != nil {
+			t.Fatalf("unit %d (topic %d) failed despite a healthy survivor: %v", i, topics[i], rep.Err)
+		}
+		if !bytes.Equal(rep.Payload, want[i]) {
+			t.Fatalf("unit %d (topic %d): truncated-batch payload differs from per-unit fetch", i, topics[i])
+		}
+	}
+	after := g.Stats()
+	if after.Retries == before.Retries || after.Failovers == before.Failovers {
+		t.Fatalf("truncation produced no remainder retry: stats %+v -> %+v", before, after)
+	}
+	// The survivor's batch served exactly the remainder: every unit except
+	// the one record the dying replica fully delivered.
+	if bu := c.clients[0][1].Stats().BatchedUnits; bu != int64(len(reqs)-1) {
+		t.Fatalf("survivor served %d batched units; want the %d-unit remainder", bu, len(reqs)-1)
+	}
+}
+
+// TestGroupMixedVersionFallback: a v2 router batching against a v1-only
+// backend (no BatchPath endpoint) must serve every unit per-unit over v1,
+// byte-identically, and remember the verdict so the probe happens once.
+func TestGroupMixedVersionFallback(t *testing.T) {
+	base := newCluster(t, 0)
+	ctx := context.Background()
+	var batchProbes atomic.Int64
+	v1mux := http.NewServeMux()
+	v1mux.Handle(remote.ArtifactPath, proxyTo(t, base.clients[0]))
+	v1srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == remote.BatchPath {
+			batchProbes.Add(1)
+		}
+		v1mux.ServeHTTP(w, r)
+	}))
+	defer v1srv.Close()
+	cl := remote.NewClient(v1srv.URL, v1srv.Client())
+	g := remote.NewGroup([]*remote.Client{cl}, nil)
+	if _, err := g.OpenRR(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var topics []int
+	for w := 0; w < base.sm.NumTopics() && len(topics) < 3; w++ {
+		if base.sm.Owner(w) == 0 {
+			topics = append(topics, w)
+		}
+	}
+	reqs := make([]artifact.Request, len(topics))
+	for i, w := range topics {
+		reqs[i] = artifact.Request{Unit: rrindex.UnitInv, Topic: w}
+	}
+	for round := 0; round < 2; round++ {
+		replies := g.FetchBatch(ctx, remote.KindRR, reqs)
+		for i, rep := range replies {
+			if rep.Err != nil {
+				t.Fatalf("round %d unit %d: %v", round, i, rep.Err)
+			}
+			want, _, err := base.clients[0].Fetch(ctx, remote.KindRR, rrindex.UnitInv, topics[i], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rep.Payload, want) {
+				t.Fatalf("round %d unit %d: v1-fallback payload differs from direct fetch", round, i)
+			}
+		}
+	}
+	if n := batchProbes.Load(); n != 1 {
+		t.Fatalf("v1-only backend probed %d times for the batch endpoint; want exactly 1 (verdict remembered)", n)
+	}
+	if ws := cl.Stats(); ws.BatchedUnits != 0 || ws.Fetches == 0 {
+		t.Fatalf("mixed-version fallback stats %+v; want zero batched units over nonzero per-unit fetches", ws)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"kbtim/internal/artifact"
 	"kbtim/internal/coverage"
 	"kbtim/internal/diskio"
 	"kbtim/internal/objcache"
@@ -64,6 +65,19 @@ const (
 // results — are bit-identical to a local open of the same file.
 type Fetcher interface {
 	Fetch(ctx context.Context, unit string, topic int, aux int64) ([]byte, error)
+}
+
+// BatchFetcher is an optional Fetcher upgrade: one call moves a whole round
+// of artifacts in (ideally) one wire round trip. FetchBatch must return
+// exactly len(reqs) replies in request order, isolating failures per unit;
+// each successful payload obeys the same bit-identity contract as Fetch.
+// When the query planner finds a BatchFetcher behind a remote index it
+// gathers every unit the round will need, peels decoded-cache residents off,
+// and batches the rest — per-unit Fetch remains the fallback for everything
+// else, so results are byte-identical either way.
+type BatchFetcher interface {
+	Fetcher
+	FetchBatch(ctx context.Context, reqs []artifact.Request) []artifact.Reply
 }
 
 // ErrNoArtifact marks an artifact request whose NAME does not resolve on
@@ -178,6 +192,19 @@ func (idx *Index) artifact(ctx context.Context, r diskio.Segmented, unit string,
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// A batch-planned round has already moved this unit over the wire; the
+	// stash rides the query's reader, and consuming an entry (Take removes
+	// it) is the moment its transfer lands in the I/O stats.
+	if st, ok := r.(*artifact.Stashed); ok {
+		if b, ok := st.S.Take(artifact.Request{Unit: unit, Topic: topic, Aux: aux}); ok {
+			if int64(len(b)) != length {
+				return nil, fmt.Errorf("rrindex: remote %s artifact for keyword %d is %d bytes, directory says %d",
+					unit, topic, len(b), length)
+			}
+			r.Counter().Record(off, len(b))
+			return b, nil
+		}
 	}
 	b, err := idx.fetch.Fetch(ctx, unit, topic, aux)
 	if err != nil {
@@ -479,6 +506,24 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 		return nil, err
 	}
 
+	// Batch round: the allocation above fixes every artifact this query will
+	// read, so a remote index with a batch-capable fetcher gets all its units
+	// in ONE round trip per owning backend (decoded-cache residents peeled
+	// off first). The payloads ride per-index stashes that the unchanged
+	// fetch path consumes unit by unit — local indexes and plain fetchers
+	// skip this entirely.
+	var stashes map[*Index]*artifact.Stash
+	if !so.Expired() {
+		stashes = planWire(ctx, q.Topics, idxAt, dirOf, alloc)
+	}
+	readerAt := func(i int) diskio.Segmented {
+		s := scopeAt(i)
+		if st := stashes[idxAt(i)]; st != nil {
+			return &artifact.Stashed{Segmented: s, S: st}
+		}
+		return s
+	}
+
 	var dec decCounters
 	views := make([]setsView, 0, len(q.Topics))
 	lists := pool.Int32Lists(base.hdr.NumVertices)
@@ -493,7 +538,7 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 	// keywords load concurrently (bounded); the merge below is sequential in
 	// keyword order either way, so results are identical.
 	arts := make([]kwArtifacts, len(q.Topics))
-	fetchOne := func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
+	fetchOne := func(a *kwArtifacts, ix *Index, r diskio.Segmented, d *KeywordDir, t int) {
 		// The keyword-load boundary is the cancellation unit: a canceled
 		// query abandons every keyword it has not started yet. The anytime
 		// deadline shares the boundary, but resolves to a Partial result
@@ -529,17 +574,17 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 		var wg sync.WaitGroup
 		for i, w := range q.Topics {
 			wg.Add(1)
-			go func(a *kwArtifacts, ix *Index, r *diskio.Scope, d *KeywordDir, t int) {
+			go func(a *kwArtifacts, ix *Index, r diskio.Segmented, d *KeywordDir, t int) {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
 				fetchOne(a, ix, r, d, t)
-			}(&arts[i], idxAt(i), scopeAt(i), dirOf[i], alloc[w])
+			}(&arts[i], idxAt(i), readerAt(i), dirOf[i], alloc[w])
 		}
 		wg.Wait()
 	} else {
 		for i, w := range q.Topics {
-			fetchOne(&arts[i], idxAt(i), scopeAt(i), dirOf[i], alloc[w])
+			fetchOne(&arts[i], idxAt(i), readerAt(i), dirOf[i], alloc[w])
 			if arts[i].err != nil {
 				break // later keywords keep zero artifacts; merge reports the error
 			}
@@ -706,6 +751,74 @@ func QueryMultiStreamCtx(ctx context.Context, owner func(topic int) *Index, q to
 		DecodedMisses: dec.misses,
 		Partial:       res.Partial,
 	}, nil
+}
+
+// planWire is the RR query's batch round. Algorithm 2 reads exactly two
+// artifacts per keyword — the θ^Q_w sets prefix and the inverted region —
+// and the allocation fixes both before any fetch starts, so for every
+// remote batch-capable index the complete wire need is known up front: it
+// is gathered here, minus units already resident in that index's decoded
+// cache, and moved in one FetchBatch per owning index (concurrently across
+// indexes for spanning queries). Successful payloads land in per-index
+// stashes; failed units are simply not stashed, so the per-unit fetch path
+// retries them with its own failover and surfaces errors with the usual
+// keyword context. Plans that would batch a single unit are dropped — one
+// POST saves nothing over one GET.
+func planWire(ctx context.Context, topics []int, idxAt func(int) *Index, dirOf []*KeywordDir, alloc map[int]int) map[*Index]*artifact.Stash {
+	var plans map[*Index][]artifact.Request
+	for i := range topics {
+		ix := idxAt(i)
+		if ix.fetch == nil {
+			continue
+		}
+		if _, ok := ix.fetch.(BatchFetcher); !ok {
+			continue
+		}
+		d := dirOf[i]
+		t := int64(alloc[topics[i]])
+		var reqs []artifact.Request
+		if ix.dec == nil || !ix.dec.Contains(objcache.Key{Region: regionSets, Topic: int32(d.TopicID), Aux: t}) {
+			reqs = append(reqs, artifact.Request{Unit: UnitSets, Topic: d.TopicID, Aux: t})
+		}
+		if ix.dec == nil || !ix.dec.Contains(objcache.Key{Region: regionInv, Topic: int32(d.TopicID)}) {
+			reqs = append(reqs, artifact.Request{Unit: UnitInv, Topic: d.TopicID})
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		if plans == nil {
+			plans = make(map[*Index][]artifact.Request)
+		}
+		plans[ix] = append(plans[ix], reqs...)
+	}
+	var (
+		stashes map[*Index]*artifact.Stash
+		mu      sync.Mutex
+		wg      sync.WaitGroup
+	)
+	for ix, reqs := range plans {
+		if len(reqs) < 2 {
+			continue
+		}
+		wg.Add(1)
+		go func(ix *Index, bf BatchFetcher, reqs []artifact.Request) {
+			defer wg.Done()
+			st := artifact.NewStash()
+			for k, rep := range bf.FetchBatch(ctx, reqs) {
+				if rep.Err == nil {
+					st.Put(reqs[k], rep.Payload)
+				}
+			}
+			mu.Lock()
+			if stashes == nil {
+				stashes = make(map[*Index]*artifact.Stash)
+			}
+			stashes[ix] = st
+			mu.Unlock()
+		}(ix, ix.fetch.(BatchFetcher), reqs)
+	}
+	wg.Wait()
+	return stashes
 }
 
 // trimLen returns how many leading IDs of the ascending list are below the
